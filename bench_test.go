@@ -1,0 +1,511 @@
+package linger
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices called out in DESIGN.md §5.
+// Each benchmark regenerates its experiment's data and reports the
+// headline quantity through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper end to end. Runs are deterministic for a fixed
+// seed.
+
+import (
+	"math"
+	"testing"
+
+	"lingerlonger/internal/apps"
+	"lingerlonger/internal/cluster"
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/node"
+	"lingerlonger/internal/parallel"
+	"lingerlonger/internal/predict"
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/trace"
+	"lingerlonger/internal/workload"
+)
+
+// benchCorpus builds the shared trace corpus once per process.
+var benchCorpusCache []*trace.Trace
+
+func benchCorpus(b *testing.B) []*trace.Trace {
+	b.Helper()
+	if benchCorpusCache == nil {
+		cfg := trace.DefaultConfig()
+		cfg.Days = 7
+		corpus, err := trace.GenerateCorpus(cfg, 12, stats.NewRNG(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCorpusCache = corpus
+	}
+	return benchCorpusCache
+}
+
+// BenchmarkFig2BurstCDFs regenerates the Figure 2 burst CDFs and their
+// hyperexponential fits, reporting the worst KS distance (the paper's
+// "curves almost exactly match").
+func BenchmarkFig2BurstCDFs(b *testing.B) {
+	table := workload.DefaultTable()
+	worst := 0.0
+	for i := 0; i < b.N; i++ {
+		series := workload.Fig2(table, []float64{0.10, 0.50}, 20000, stats.NewRNG(int64(i+1)))
+		for _, s := range series {
+			if s.KSDistance > worst {
+				worst = s.KSDistance
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-KS")
+}
+
+// BenchmarkFig3WorkloadParams regenerates the Figure 3 parameter curves,
+// reporting the 100%-utilization run-burst mean (paper: 0.25 s).
+func BenchmarkFig3WorkloadParams(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows := workload.Fig3(workload.DefaultTable())
+		last = rows[len(rows)-1].RunMean
+	}
+	b.ReportMetric(last, "run-mean@100%")
+}
+
+// BenchmarkFig4MemoryCDF regenerates the available-memory CDF, reporting
+// P(free >= 14 MB) (paper: 0.90).
+func BenchmarkFig4MemoryCDF(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var p14 float64
+	for i := 0; i < b.N; i++ {
+		all, _, _ := trace.Fig4(corpus)
+		p14 = trace.FracAtLeast(all, 14)
+	}
+	b.ReportMetric(p14, "P(free>=14MB)")
+}
+
+// BenchmarkSec32TraceStats regenerates the §3.2 availability statistics,
+// reporting the non-idle fraction (paper: 0.46).
+func BenchmarkSec32TraceStats(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var nonIdle float64
+	for i := 0; i < b.N; i++ {
+		nonIdle = trace.Analyze(corpus).NonIdleFraction
+	}
+	b.ReportMetric(nonIdle, "non-idle-frac")
+}
+
+// BenchmarkFig5NodeImpact regenerates the LDR/FCSR curves, reporting the
+// worst owner delay at the paper's 100 µs context switch (paper: ~1%).
+func BenchmarkFig5NodeImpact(b *testing.B) {
+	table := workload.DefaultTable()
+	cfg := node.DefaultFig5Config()
+	cfg.Duration = 500
+	var worstLDR float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		worstLDR = 0
+		for _, p := range node.Fig5(table, cfg) {
+			if p.ContextSwitch == 100e-6 && p.LDR > worstLDR {
+				worstLDR = p.LDR
+			}
+		}
+	}
+	b.ReportMetric(100*worstLDR, "max-LDR-%@100µs")
+}
+
+// BenchmarkFig7ClusterTable regenerates the Figure 7 table for workload 1,
+// reporting the LL-over-PM throughput gain (paper: ~1.5x).
+func BenchmarkFig7ClusterTable(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.Workload1(core.LingerLonger)
+		cfg.Seed = int64(i + 1)
+		rows, err := cluster.Fig7(cfg, corpus, 1800)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byPolicy := map[string]cluster.Fig7Row{}
+		for _, r := range rows {
+			byPolicy[r.Policy] = r
+		}
+		gain = byPolicy["LL"].Throughput / byPolicy["PM"].Throughput
+	}
+	b.ReportMetric(gain, "LL/PM-throughput")
+}
+
+// BenchmarkFig7Workload2 regenerates the light-load half of Figure 7,
+// reporting the completion-time spread across policies (paper: ~0).
+func BenchmarkFig7Workload2(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := math.Inf(1), 0.0
+		for _, p := range core.Policies {
+			cfg := cluster.Workload2(p)
+			cfg.Seed = int64(i + 1)
+			res, err := cluster.Run(cfg, corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo = math.Min(lo, res.AvgCompletion)
+			hi = math.Max(hi, res.AvgCompletion)
+		}
+		spread = (hi - lo) / lo
+	}
+	b.ReportMetric(100*spread, "policy-spread-%")
+}
+
+// BenchmarkFig8StateBreakdown regenerates the per-state time breakdown,
+// reporting LL's queue-time saving over IE (the source of its advantage).
+func BenchmarkFig8StateBreakdown(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		var q [2]float64
+		for k, p := range []core.Policy{core.LingerLonger, core.ImmediateEviction} {
+			cfg := cluster.Workload1(p)
+			cfg.Seed = int64(i + 1)
+			res, err := cluster.Run(cfg, corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q[k] = res.Breakdown.Queued
+		}
+		saving = q[1] - q[0]
+	}
+	b.ReportMetric(saving, "queue-saving-s")
+}
+
+// BenchmarkFig9ParallelSlowdown regenerates the slowdown-vs-utilization
+// curve, reporting the 90%-utilization slowdown (paper: ~10).
+func BenchmarkFig9ParallelSlowdown(b *testing.B) {
+	var at90 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := parallel.Fig9(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		at90 = pts[len(pts)-1].Slowdown
+	}
+	b.ReportMetric(at90, "slowdown@90%")
+}
+
+// BenchmarkFig10SyncGranularity regenerates the granularity sweep,
+// reporting the fine-to-coarse slowdown ratio for 8 non-idle nodes.
+func BenchmarkFig10SyncGranularity(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := parallel.Fig10(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fine, coarse float64
+		for _, p := range pts {
+			if p.NonIdleNodes == 8 && p.GranularityMS == 10 {
+				fine = p.Slowdown
+			}
+			if p.NonIdleNodes == 8 && p.GranularityMS == 10000 {
+				coarse = p.Slowdown
+			}
+		}
+		ratio = fine / coarse
+	}
+	b.ReportMetric(ratio, "fine/coarse")
+}
+
+// BenchmarkFig11Reconfig regenerates the linger-vs-reconfiguration study,
+// reporting LL-32's margin over reconfiguration with one busy node.
+func BenchmarkFig11Reconfig(b *testing.B) {
+	var margin float64
+	for i := 0; i < b.N; i++ {
+		cfg := parallel.DefaultReconfigConfig()
+		cfg.Seed = int64(i + 1)
+		pts, err := parallel.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.IdleNodes == 31 {
+				margin = p.Reconfig / p.LL[32]
+			}
+		}
+	}
+	b.ReportMetric(margin, "reconfig/LL32@31idle")
+}
+
+// BenchmarkFig12AppSlowdown regenerates the application slowdown grid,
+// reporting sor's slowdown with all 8 nodes at 20% (paper: just above 2).
+func BenchmarkFig12AppSlowdown(b *testing.B) {
+	var sor8 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := apps.Fig12(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.App == "sor" && p.NonIdle == 8 && p.LocalUtil == 0.20 {
+				sor8 = p.Slowdown
+			}
+		}
+	}
+	b.ReportMetric(sor8, "sor@8x20%")
+}
+
+// BenchmarkFig13AppReconfig regenerates the application
+// linger-vs-reconfiguration study, reporting LL-8's margin over LL-16 with
+// four idle nodes (the hybrid-strategy result).
+func BenchmarkFig13AppReconfig(b *testing.B) {
+	var margin float64
+	for i := 0; i < b.N; i++ {
+		cfg := apps.DefaultFig13Config()
+		cfg.Seed = int64(i + 1)
+		pts, err := apps.Fig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.App == "sor" && p.IdleNodes == 4 {
+				margin = p.LL16 / p.LL8
+			}
+		}
+	}
+	b.ReportMetric(margin, "LL16/LL8@4idle")
+}
+
+// BenchmarkAblationLingerDuration sweeps the multiplier on the cost-model
+// linger duration: tiny values approach eviction-with-priority, huge
+// values approach Linger-Forever. Reports the completion-time range over
+// the sweep — how much the duration choice actually matters.
+func BenchmarkAblationLingerDuration(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := math.Inf(1), 0.0
+		for _, mult := range []float64{0.01, 0.25, 1, 4, 1e9} {
+			cfg := cluster.Workload1(core.LingerLonger)
+			cfg.Seed = int64(i + 1)
+			cfg.LingerMultiplier = mult
+			res, err := cluster.Run(cfg, corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo = math.Min(lo, res.AvgCompletion)
+			hi = math.Max(hi, res.AvgCompletion)
+		}
+		spread = hi / lo
+	}
+	b.ReportMetric(spread, "max/min-completion")
+}
+
+// BenchmarkAblationPauseTime sweeps PM's fixed suspend interval.
+func BenchmarkAblationPauseTime(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := math.Inf(1), 0.0
+		for _, pause := range []float64{5, 30, 120, 600} {
+			cfg := cluster.Workload1(core.PauseAndMigrate)
+			cfg.Seed = int64(i + 1)
+			cfg.PauseTime = pause
+			res, err := cluster.Run(cfg, corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo = math.Min(lo, res.AvgCompletion)
+			hi = math.Max(hi, res.AvgCompletion)
+		}
+		spread = hi / lo
+	}
+	b.ReportMetric(spread, "max/min-completion")
+}
+
+// BenchmarkAblationBurstDist compares hyperexponential bursts (CV^2 ~1.5,
+// the paper's fit) against exponential bursts (CV^2 = 1) for the parallel
+// slowdown with 8 non-idle nodes: burstiness is what drives barrier
+// penalties.
+func BenchmarkAblationBurstDist(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rng := stats.NewRNG(int64(i + 1))
+		var sd [2]float64
+		for k, table := range []*workload.Table{
+			workload.DefaultTable(),
+			workload.DefaultTable().WithSquaredCV(1, 1),
+		} {
+			cfg := parallel.DefaultBSPConfig()
+			cfg.Phases = 60
+			cfg.Table = table
+			utils := make([]float64, cfg.Procs)
+			for j := range utils {
+				utils[j] = 0.20
+			}
+			v, err := parallel.Slowdown(cfg, utils, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sd[k] = v
+		}
+		ratio = sd[0] / sd[1]
+	}
+	b.ReportMetric(ratio, "hyperexp/exp-slowdown")
+}
+
+// BenchmarkAblationFlatVsTwoLevel compares the fine-grain burst model
+// against a near-fluid processor-sharing model (bursts shrunk 100x): the
+// flat model underestimates the barrier penalty of lingering parallel
+// jobs, which is why the paper's two-level composition matters.
+func BenchmarkAblationFlatVsTwoLevel(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rng := stats.NewRNG(int64(i + 1))
+		var sd [2]float64
+		for k, table := range []*workload.Table{
+			workload.DefaultTable(),
+			workload.DefaultTable().Scaled(0.01),
+		} {
+			cfg := parallel.DefaultBSPConfig()
+			cfg.Phases = 60
+			cfg.Table = table
+			utils := make([]float64, cfg.Procs)
+			for j := range utils {
+				utils[j] = 0.20
+			}
+			v, err := parallel.Slowdown(cfg, utils, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sd[k] = v
+		}
+		ratio = sd[0] / sd[1]
+	}
+	b.ReportMetric(ratio, "bursty/fluid-slowdown")
+}
+
+// BenchmarkAblationContextSwitch sweeps the effective context-switch time
+// on a single node (Figure 5's role as an ablation), reporting the LDR
+// range.
+func BenchmarkAblationContextSwitch(b *testing.B) {
+	table := workload.DefaultTable()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, cs := range []float64{50e-6, 100e-6, 300e-6, 500e-6, 1000e-6} {
+			n := node.New(node.Config{ContextSwitch: cs}, table,
+				workload.ConstantUtilization(0.2), stats.NewRNG(int64(i+1)))
+			n.ServeForeign(math.Inf(1), 500)
+			if n.LDR() > worst {
+				worst = n.LDR()
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "max-LDR-%@1ms")
+}
+
+// BenchmarkExtensionArrivals runs the open-system (Poisson arrivals)
+// extension, reporting IE's mean-response penalty over LL at moderate
+// load.
+func BenchmarkExtensionArrivals(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		var resp [2]float64
+		for k, p := range []core.Policy{core.LingerLonger, core.ImmediateEviction} {
+			cfg := cluster.ArrivalsConfig{Cluster: cluster.Workload1(p), Rate: 0.05, Duration: 1800}
+			cfg.Cluster.Seed = int64(i + 1)
+			res, err := cluster.RunArrivals(cfg, corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp[k] = res.MeanResponse
+		}
+		penalty = resp[1] / resp[0]
+	}
+	b.ReportMetric(penalty, "IE/LL-response")
+}
+
+// BenchmarkExtensionHybrid runs the hybrid linger/reconfiguration
+// scheduler, reporting its worst ratio to the best fixed strategy across
+// the Figure 13 sweep (1.0 = perfect lower-envelope tracking).
+func BenchmarkExtensionHybrid(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		cfg := apps.DefaultFig13Config()
+		cfg.Seed = int64(i + 1)
+		pts, err := apps.FigHybrid(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range pts {
+			if math.IsInf(p.BestFixed, 1) {
+				continue
+			}
+			if r := p.Slowdown / p.BestFixed; r > worst {
+				worst = r
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-hybrid/best-fixed")
+}
+
+// BenchmarkAblationPredictor compares episode-length predictors for the
+// LL migration decision: the paper's 2x-age rule, a fixed horizon, and a
+// learning empirical predictor. Reports the completion-time spread.
+func BenchmarkAblationPredictor(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		preds := []predict.Predictor{
+			predict.MedianLife{},
+			predict.FixedHorizon{Horizon: 300},
+			&predict.Empirical{MinSamples: 10},
+		}
+		lo, hi := math.Inf(1), 0.0
+		for _, p := range preds {
+			cfg := cluster.Workload1(core.LingerLonger)
+			cfg.Seed = int64(i + 1)
+			cfg.Predictor = p
+			res, err := cluster.Run(cfg, corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo = math.Min(lo, res.AvgCompletion)
+			hi = math.Max(hi, res.AvgCompletion)
+		}
+		spread = hi / lo
+	}
+	b.ReportMetric(spread, "max/min-completion")
+}
+
+// BenchmarkAblationPlacement compares placement strategies for queued
+// jobs (lowest-utilization, random, first-fit). Reports the spread.
+func BenchmarkAblationPlacement(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		lo, hi := math.Inf(1), 0.0
+		for _, pl := range []cluster.Placement{cluster.PlaceLowestUtil, cluster.PlaceRandom, cluster.PlaceFirstFit} {
+			cfg := cluster.Workload1(core.LingerLonger)
+			cfg.Seed = int64(i + 1)
+			cfg.Placement = pl
+			res, err := cluster.Run(cfg, corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo = math.Min(lo, res.AvgCompletion)
+			hi = math.Max(hi, res.AvgCompletion)
+		}
+		spread = hi / lo
+	}
+	b.ReportMetric(spread, "max/min-completion")
+}

@@ -1,0 +1,181 @@
+// Command lingerd runs the prototype cycle-stealing system of
+// internal/runtime (the paper's §7 architecture) in one of three roles:
+//
+//	lingerd -agent -listen 127.0.0.1:7101 [-util 0.2] [-busyafter 60]
+//	    Serve one workstation agent on a TCP address. The owner workload
+//	    is a simple script: idle for -busyafter seconds, then persistently
+//	    active at -util.
+//
+//	lingerd -coordinator -agents addr1,addr2,... [-policy LL] [-jobs 4]
+//	         [-demand 120] [-steps 600]
+//	    Connect to running agents, submit jobs, and drive the cluster.
+//
+//	lingerd -demo
+//	    Self-contained demonstration: three agents on loopback TCP, one of
+//	    which turns busy, under the LL policy — watch the job linger and
+//	    then migrate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/runtime"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lingerd: ")
+
+	var (
+		agentMode = flag.Bool("agent", false, "serve a workstation agent")
+		coordMode = flag.Bool("coordinator", false, "drive a set of agents")
+		demoMode  = flag.Bool("demo", false, "self-contained loopback demonstration")
+
+		listen    = flag.String("listen", "127.0.0.1:7101", "agent: listen address")
+		name      = flag.String("name", "", "agent: name (default: the listen address)")
+		util      = flag.Float64("util", 0.3, "agent: owner utilization when busy")
+		busyAfter = flag.Float64("busyafter", 60, "agent: seconds of idleness before the owner returns")
+		totalMB   = flag.Float64("mem", 64, "agent: machine memory, MB")
+
+		agents = flag.String("agents", "", "coordinator: comma-separated agent addresses")
+		policy = flag.String("policy", "LL", "coordinator: LL, LF, IE, or PM")
+		jobs   = flag.Int("jobs", 4, "coordinator: jobs to submit")
+		demand = flag.Float64("demand", 120, "coordinator: CPU seconds per job")
+		steps  = flag.Int("steps", 600, "coordinator: virtual seconds to run")
+	)
+	flag.Parse()
+
+	switch {
+	case *agentMode:
+		runAgent(*listen, *name, *util, *busyAfter, *totalMB)
+	case *coordMode:
+		runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps)
+	case *demoMode:
+		runDemo()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func ownerScript(busyAfter, util float64) *runtime.ScriptedOwner {
+	owner, err := runtime.NewScriptedOwner([]runtime.OwnerPhase{
+		{Duration: busyAfter, Util: 0.02, FreeMB: 40},
+		{Duration: 1e9, Util: util, Keyboard: true, FreeMB: 30},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return owner
+}
+
+func runAgent(listen, name string, util, busyAfter, totalMB float64) {
+	if name == "" {
+		name = listen
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := runtime.NewAgentServer(runtime.NewAgent(name, ownerScript(busyAfter, util), totalMB), l)
+	fmt.Printf("agent %q serving on %s (owner busy at %.0f%% after %.0fs)\n",
+		name, srv.Addr(), 100*util, busyAfter)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	srv.Close()
+}
+
+func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int) {
+	p, err := core.ParsePolicy(policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var clients []runtime.AgentClient
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		c, err := runtime.DialAgent(addr)
+		if err != nil {
+			log.Fatalf("dial %s: %v", addr, err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+		fmt.Printf("connected to agent %q at %s\n", c.Name(), addr)
+	}
+	cfg := runtime.DefaultCoordinatorConfig()
+	cfg.Policy = p
+	drive(cfg, clients, jobs, demand, steps)
+}
+
+func runDemo() {
+	fmt.Println("demo: three loopback-TCP agents; 'alpha' turns busy after 40s; policy LL")
+	owners := map[string]*runtime.ScriptedOwner{
+		"alpha": ownerScript(40, 0.5),
+		"beta":  ownerScript(1e9, 0.3), // effectively always idle
+		"gamma": ownerScript(1e9, 0.3),
+	}
+	var clients []runtime.AgentClient
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := runtime.NewAgentServer(runtime.NewAgent(name, owners[name], 64), l)
+		defer srv.Close()
+		c, err := runtime.DialAgent(srv.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+		fmt.Printf("  agent %q on %s\n", name, srv.Addr())
+	}
+	drive(runtime.DefaultCoordinatorConfig(), clients, 2, 150, 400)
+}
+
+func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, jobs int, demand float64, steps int) {
+	coord, err := runtime.NewCoordinator(cfg, clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < jobs; i++ {
+		id, err := coord.Submit(demand, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("submitted job %d (%.0f CPU-s)\n", id, demand)
+	}
+	lastMigr := 0
+	lastDone := 0
+	for i := 0; i < steps; i++ {
+		if err := coord.Step(1); err != nil {
+			log.Fatal(err)
+		}
+		if m := coord.Migrations(); m != lastMigr {
+			fmt.Printf("t=%4.0fs migration #%d started\n", coord.Now(), m)
+			lastMigr = m
+		}
+		if done := coord.Completed(); len(done) != lastDone {
+			for _, d := range done[lastDone:] {
+				fmt.Printf("t=%4.0fs job %d completed on %q (response %.0fs)\n",
+					coord.Now(), d.Job.ID, d.Agent, d.CompletedAt-d.Job.SubmittedAt)
+			}
+			lastDone = len(done)
+		}
+		if lastDone == jobs {
+			break
+		}
+	}
+	fmt.Printf("done: %d/%d jobs completed, %d migrations, %d still queued\n",
+		lastDone, jobs, coord.Migrations(), coord.QueueLen())
+}

@@ -1,0 +1,95 @@
+// Command lingersim runs the sequential-job cluster experiments of the
+// paper (§4.2): the Figure 7 policy-comparison table and the Figure 8
+// per-state time breakdown, on a simulated cluster of workstations
+// replaying synthetic coarse-grain traces.
+//
+// Usage:
+//
+//	lingersim [-nodes 64] [-workload 1|2] [-policy LL|LF|IE|PM|all]
+//	          [-breakdown] [-seed 1] [-tpdur 3600] [-machines 16] [-days 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lingerlonger/internal/cluster"
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lingersim: ")
+
+	var (
+		nodes     = flag.Int("nodes", 64, "cluster size")
+		workload  = flag.Int("workload", 1, "paper workload: 1 (128x600s) or 2 (16x1800s)")
+		policy    = flag.String("policy", "all", "scheduling policy: LL, LF, IE, PM, or all")
+		breakdown = flag.Bool("breakdown", false, "also print the Figure 8 state breakdown")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		tpdur     = flag.Float64("tpdur", 3600, "throughput-run duration, seconds")
+		machines  = flag.Int("machines", 16, "trace corpus size")
+		days      = flag.Int("days", 2, "trace length, days")
+	)
+	flag.Parse()
+
+	tcfg := trace.DefaultConfig()
+	tcfg.Days = *days
+	corpus, err := trace.GenerateCorpus(tcfg, *machines, stats.NewRNG(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var cfg cluster.Config
+	switch *workload {
+	case 1:
+		cfg = cluster.Workload1(core.LingerLonger)
+	case 2:
+		cfg = cluster.Workload2(core.LingerLonger)
+	default:
+		log.Fatalf("unknown workload %d (want 1 or 2)", *workload)
+	}
+	cfg.Nodes = *nodes
+	cfg.Seed = *seed
+
+	pols := core.Policies
+	if *policy != "all" {
+		p, err := core.ParsePolicy(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pols = []core.Policy{p}
+	}
+
+	fmt.Printf("Figure 7 — workload %d on %d nodes (%d jobs x %.0f CPU-s, %.0f MB images)\n",
+		*workload, cfg.Nodes, int(cfg.NumJobs), cfg.JobCPU, cfg.JobMB)
+	fmt.Printf("%-6s %12s %10s %12s %12s %10s\n",
+		"policy", "avg job (s)", "variation", "family (s)", "throughput", "delay")
+	for _, p := range pols {
+		c := cfg
+		c.Policy = p
+		batch, err := cluster.Run(c, corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tp, err := cluster.RunThroughput(c, corpus, *tpdur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %12.0f %9.1f%% %12.0f %12.1f %9.2f%%\n",
+			p, batch.AvgCompletion, 100*batch.Variation, batch.FamilyTime,
+			tp.Throughput, 100*batch.LocalDelay)
+		if batch.Incomplete > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d jobs incomplete at MaxTime under %v\n", batch.Incomplete, p)
+		}
+		if *breakdown {
+			b := batch.Breakdown
+			fmt.Printf("       breakdown: queued %.0f  run %.0f  linger %.0f  paused %.0f  migrate %.0f\n",
+				b.Queued, b.Running, b.Lingering, b.Paused, b.Migrating)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command nodesim runs the single-node impact study (§4.1, Figure 5): the
+// local job delay ratio (LDR) and fine-grain cycle stealing ratio (FCSR)
+// of a lingering compute-bound foreign job across local utilization levels
+// and effective context-switch times.
+//
+// Usage:
+//
+//	nodesim [-dur 2000] [-seed 1] [-cs 100,300,500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"lingerlonger/internal/node"
+	"lingerlonger/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nodesim: ")
+
+	var (
+		dur    = flag.Float64("dur", 2000, "simulated seconds per point")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		csList = flag.String("cs", "100,300,500", "effective context-switch times, microseconds")
+	)
+	flag.Parse()
+
+	cfg := node.DefaultFig5Config()
+	cfg.Duration = *dur
+	cfg.Seed = *seed
+	cfg.ContextSwitches = nil
+	for _, s := range strings.Split(*csList, ",") {
+		us, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			log.Fatalf("bad -cs value %q: %v", s, err)
+		}
+		cfg.ContextSwitches = append(cfg.ContextSwitches, us*1e-6)
+	}
+
+	pts := node.Fig5(workload.DefaultTable(), cfg)
+	fmt.Println("Figure 5 — Linger-Longer scheduling impact on one node")
+	fmt.Printf("%8s %10s %10s %10s\n", "util", "cs (µs)", "LDR", "FCSR")
+	for _, p := range pts {
+		fmt.Printf("%7.0f%% %10.0f %9.2f%% %9.1f%%\n",
+			100*p.Utilization, p.ContextSwitch*1e6, 100*p.LDR, 100*p.FCSR)
+	}
+}

@@ -1,0 +1,132 @@
+// Command parsim runs the parallel-job experiments (§5): the synthetic
+// bulk-synchronous slowdown studies (Figures 9 and 10), the
+// linger-vs-reconfiguration comparison (Figure 11), and the
+// shared-memory-application studies (Figures 12 and 13).
+//
+// Usage:
+//
+//	parsim [-seed 1] [-fig9] [-fig10] [-fig11] [-fig12] [-fig13]
+//
+// With no flag it runs every figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"lingerlonger/internal/apps"
+	"lingerlonger/internal/parallel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parsim: ")
+
+	var (
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		fig9  = flag.Bool("fig9", false, "run Figure 9 (slowdown vs utilization)")
+		fig10 = flag.Bool("fig10", false, "run Figure 10 (slowdown vs granularity)")
+		fig11 = flag.Bool("fig11", false, "run Figure 11 (linger vs reconfiguration)")
+		fig12 = flag.Bool("fig12", false, "run Figure 12 (application slowdowns)")
+		fig13 = flag.Bool("fig13", false, "run Figure 13 (applications: linger vs reconfiguration)")
+	)
+	flag.Parse()
+	all := !*fig9 && !*fig10 && !*fig11 && !*fig12 && !*fig13
+
+	if all || *fig9 {
+		pts, err := parallel.Fig9(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Figure 9 — parallel job slowdown vs local utilization (1 non-idle node of 8)")
+		for _, p := range pts {
+			fmt.Printf("  util %3.0f%%  slowdown %5.2f\n", 100*p.Utilization, p.Slowdown)
+		}
+	}
+
+	if all || *fig10 {
+		pts, err := parallel.Fig10(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nFigure 10 — slowdown vs synchronization granularity (20% non-idle nodes)")
+		fmt.Printf("%12s %8s %8s %8s %8s\n", "granularity", "1 node", "2 nodes", "4 nodes", "8 nodes")
+		byGran := map[float64]map[int]float64{}
+		for _, p := range pts {
+			if byGran[p.GranularityMS] == nil {
+				byGran[p.GranularityMS] = map[int]float64{}
+			}
+			byGran[p.GranularityMS][p.NonIdleNodes] = p.Slowdown
+		}
+		for _, g := range []float64{10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000} {
+			row := byGran[g]
+			fmt.Printf("%10.0fms %8.2f %8.2f %8.2f %8.2f\n", g, row[1], row[2], row[4], row[8])
+		}
+	}
+
+	if all || *fig11 {
+		cfg := parallel.DefaultReconfigConfig()
+		cfg.Seed = *seed
+		pts, err := parallel.Fig11(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nFigure 11 — Linger-Longer vs reconfiguration (32-node cluster, 20% non-idle)")
+		fmt.Printf("%6s %10s %10s %10s %10s\n", "idle", "LL-32", "LL-16", "LL-8", "reconfig")
+		for _, p := range pts {
+			fmt.Printf("%6d %10.2f %10.2f %10.2f %10s\n",
+				p.IdleNodes, p.LL[32], p.LL[16], p.LL[8], fmtOrInf(p.Reconfig))
+		}
+	}
+
+	if all || *fig12 {
+		pts, err := apps.Fig12(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nFigure 12 — application slowdown vs non-idle nodes (8-node cluster)")
+		for _, app := range []string{"sor", "water", "fft"} {
+			fmt.Printf("  %s:\n", app)
+			fmt.Printf("%10s %8s %8s %8s %8s\n", "non-idle", "10%", "20%", "30%", "40%")
+			for n := 0; n <= 8; n++ {
+				fmt.Printf("%10d", n)
+				for _, u := range []float64{0.10, 0.20, 0.30, 0.40} {
+					for _, p := range pts {
+						if p.App == app && p.NonIdle == n && math.Abs(p.LocalUtil-u) < 1e-9 {
+							fmt.Printf(" %8.2f", p.Slowdown)
+						}
+					}
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	if all || *fig13 {
+		cfg := apps.DefaultFig13Config()
+		cfg.Seed = *seed
+		pts, err := apps.Fig13(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nFigure 13 — applications: linger vs reconfiguration (16-node cluster, 20% non-idle)")
+		cur := ""
+		for _, p := range pts {
+			if p.App != cur {
+				cur = p.App
+				fmt.Printf("  %s:\n", cur)
+				fmt.Printf("%6s %10s %10s %10s\n", "idle", "reconfig", "LL-16", "LL-8")
+			}
+			fmt.Printf("%6d %10s %10.2f %10.2f\n", p.IdleNodes, fmtOrInf(p.Reconfig), p.LL16, p.LL8)
+		}
+	}
+}
+
+func fmtOrInf(v float64) string {
+	if math.IsInf(v, 1) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,104 @@
+// Command tracegen generates and analyzes the synthetic workstation
+// traces (the §3 workload characterization): the corpus statistics, the
+// Figure 2 burst CDFs, the Figure 3 workload parameters, and the Figure 4
+// available-memory CDF.
+//
+// Usage:
+//
+//	tracegen [-machines 8] [-days 7] [-seed 1] [-stats] [-fig2] [-fig3] [-fig4]
+//
+// With no figure flag it prints the corpus statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/trace"
+	"lingerlonger/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		machines  = flag.Int("machines", 8, "number of machines in the corpus")
+		days      = flag.Int("days", 7, "trace length, days")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		showStats = flag.Bool("stats", false, "print §3.2 corpus statistics")
+		fig2      = flag.Bool("fig2", false, "print the Figure 2 burst CDFs")
+		fig3      = flag.Bool("fig3", false, "print the Figure 3 workload parameters")
+		fig4      = flag.Bool("fig4", false, "print the Figure 4 memory CDF")
+	)
+	flag.Parse()
+	if !*fig2 && !*fig3 && !*fig4 {
+		*showStats = true
+	}
+
+	table := workload.DefaultTable()
+
+	if *showStats {
+		cfg := trace.DefaultConfig()
+		cfg.Days = *days
+		corpus, err := trace.GenerateCorpus(cfg, *machines, stats.NewRNG(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs := trace.Analyze(corpus)
+		fmt.Printf("corpus: %d machines x %d days (%d samples)\n", cs.Machines, *days, cs.Samples)
+		fmt.Printf("  non-idle fraction        %.3f   (paper §3.2: 0.46)\n", cs.NonIdleFraction)
+		fmt.Printf("  mean CPU (all)           %.3f\n", cs.MeanCPU)
+		fmt.Printf("  mean CPU (idle)          %.3f\n", cs.MeanCPUIdle)
+		fmt.Printf("  mean CPU (non-idle)      %.3f\n", cs.MeanCPUNonIdle)
+		fmt.Printf("  non-idle below 10%% CPU   %.3f   (paper §3.2: 0.76)\n", cs.FracNonIdleBelow10)
+		fmt.Printf("  mean idle episode        %.0f s\n", cs.MeanIdleEpisode)
+		fmt.Printf("  mean non-idle episode    %.0f s\n", cs.MeanNonIdleEpisode)
+	}
+
+	if *fig2 {
+		series := workload.Fig2(table, []float64{0.10, 0.50}, 50000, stats.NewRNG(*seed))
+		fmt.Println("\nFigure 2 — run/idle burst CDFs vs hyperexponential fit")
+		for _, s := range series {
+			kind := "idle"
+			if s.Run {
+				kind = "run"
+			}
+			fmt.Printf("  %s bursts at %.0f%% utilization (KS distance %.4f)\n",
+				kind, 100*s.Utilization, s.KSDistance)
+			for i, p := range s.Points {
+				if i%10 == 0 { // every 20 ms along the 0..0.1 s axis
+					fmt.Printf("    t=%5.3fs empirical=%.3f fitted=%.3f\n", p.Time, p.Empirical, p.Fitted)
+				}
+			}
+		}
+	}
+
+	if *fig3 {
+		fmt.Println("\nFigure 3 — workload parameters by utilization")
+		fmt.Printf("%8s %12s %12s %12s %12s\n", "util", "run mean", "run var", "idle mean", "idle var")
+		for _, r := range workload.Fig3(table) {
+			fmt.Printf("%7.0f%% %12.4f %12.6f %12.4f %12.6f\n",
+				100*r.Utilization, r.RunMean, r.RunVar, r.IdleMean, r.IdleVar)
+		}
+	}
+
+	if *fig4 {
+		cfg := trace.DefaultConfig()
+		cfg.Days = *days
+		corpus, err := trace.GenerateCorpus(cfg, *machines, stats.NewRNG(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		all, idle, nonIdle := trace.Fig4(corpus)
+		fmt.Println("\nFigure 4 — available memory CDF (64 MB machines)")
+		fmt.Printf("%8s %10s %10s %10s\n", "MB", "all", "idle", "non-idle")
+		for mb := 0.0; mb <= 64; mb += 4 {
+			fmt.Printf("%8.0f %10.3f %10.3f %10.3f\n", mb, all.At(mb), idle.At(mb), nonIdle.At(mb))
+		}
+		fmt.Printf("\n  P(free >= 14 MB) = %.3f (paper: 0.90)\n", trace.FracAtLeast(all, 14))
+		fmt.Printf("  P(free >= 10 MB) = %.3f (paper: 0.95)\n", trace.FracAtLeast(all, 10))
+	}
+}

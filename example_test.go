@@ -1,0 +1,50 @@
+package linger_test
+
+import (
+	"fmt"
+
+	"lingerlonger"
+)
+
+// The §2 cost model: how long should a foreign job linger on a node whose
+// owner has returned before migrating to an idle node?
+func ExampleLingerDuration() {
+	tmigr := linger.DefaultMigrationCost().Time(8) // 8 MB image over 3 Mbps
+	// Busy node at 20% local utilization, idle candidate at 0%.
+	tlingr := linger.LingerDuration(0.20, 0, tmigr)
+	fmt.Printf("migration cost %.1f s, linger for %.1f s\n", tmigr, tlingr)
+	// Output:
+	// migration cost 22.3 s, linger for 111.7 s
+}
+
+// Policies parse from the paper's abbreviations.
+func ExampleParsePolicy() {
+	p, _ := linger.ParsePolicy("LL")
+	fmt.Println(p, p.Lingers())
+	p, _ = linger.ParsePolicy("IE")
+	fmt.Println(p, p.Lingers())
+	// Output:
+	// LL true
+	// IE false
+}
+
+// A single workstation at 20% owner load still gives a lingering guest
+// nearly all of its idle cycles while barely delaying the owner.
+func ExampleNewNode() {
+	n := linger.NewNode(linger.NodeConfig{ContextSwitch: 100e-6}, 0.20, linger.NewRNG(1))
+	delivered := n.ServeForeign(1e9, 1000) // compute-bound guest, 1000 s
+	fmt.Printf("guest got %.0f%% of wall time; owner delayed %.1f%%; FCSR %.0f%%\n",
+		100*delivered/1000, 100*n.LDR(), 100*n.FCSR())
+	// Output:
+	// guest got 80% of wall time; owner delayed 0.5%; FCSR 100%
+}
+
+// The Figure 3 workload table: burst parameters by utilization level.
+func ExampleDefaultWorkloadTable() {
+	table := linger.DefaultWorkloadTable()
+	p := table.ParamsAt(0.50)
+	fmt.Printf("at 50%% utilization: run bursts %.0f ms, idle bursts %.0f ms\n",
+		1000*p.RunMean, 1000*p.IdleMean)
+	// Output:
+	// at 50% utilization: run bursts 50 ms, idle bursts 50 ms
+}

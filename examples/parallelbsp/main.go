@@ -1,0 +1,79 @@
+// Parallelbsp: should a data-parallel job linger on busy workstations or
+// reconfigure to fewer idle ones? This example sweeps the cluster's idle
+// count for a bulk-synchronous job and for the paper's three shared-memory
+// applications, printing the better strategy at each point (§5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lingerlonger"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 100 ms-granularity BSP job on 8 nodes: how much does one busy
+	// workstation at various local loads cost the whole job?
+	fmt.Println("BSP job, 8 processes, one non-idle node:")
+	cfg := linger.DefaultBSPConfig()
+	rng := linger.NewRNG(1)
+	for _, u := range []float64{0.1, 0.2, 0.4, 0.6, 0.8} {
+		utils := make([]float64, cfg.Procs)
+		utils[0] = u
+		sd, err := linger.BSPSlowdown(cfg, utils, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  local load %3.0f%% -> slowdown %.2fx\n", 100*u, sd)
+	}
+
+	// Linger vs reconfigure for the three applications on a 16-node
+	// cluster with 20%-busy non-idle nodes.
+	fmt.Println("\nlinger on all 16 nodes vs reconfigure to the idle power-of-two:")
+	for _, app := range linger.Apps() {
+		full, err := app.BSPFor(16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := linger.RunBSP(full, make([]float64, 16), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s (comm fraction %.0f%%):\n", app.Name, 100*app.CommFraction())
+		for _, idle := range []int{15, 12, 8, 4} {
+			utils := make([]float64, 16)
+			for i := 0; i < 16-idle; i++ {
+				utils[i] = 0.20
+			}
+			lingerT, err := linger.RunBSP(full, utils, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			k := largestPow2(idle)
+			small, err := app.BSPFor(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reconfT, err := linger.RunBSP(small, make([]float64, k), rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best := "linger"
+			if reconfT < lingerT {
+				best = fmt.Sprintf("reconfigure to %d", k)
+			}
+			fmt.Printf("    %2d idle: linger %.2fx, reconfig-%d %.2fx -> %s\n",
+				idle, lingerT/base, k, reconfT/base, best)
+		}
+	}
+}
+
+func largestPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,88 @@
+// Prototype: the distributed cycle-stealing system of internal/runtime
+// run end-to-end in one process — four workstation agents served over
+// loopback TCP, a coordinator running the Linger-Longer policy, and a
+// batch of guest jobs that linger through owner activity and migrate only
+// when the §2 cost model says the busy episode will outlast the
+// migration price.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/runtime"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Four workstations: two stay quiet; "carol" turns busy after 60 s,
+	// "dave" after 120 s.
+	owners := []struct {
+		name      string
+		busyAfter float64
+		util      float64
+	}{
+		{"alice", 1e9, 0},
+		{"bob", 1e9, 0},
+		{"carol", 60, 0.6},
+		{"dave", 120, 0.3},
+	}
+	var clients []runtime.AgentClient
+	for _, o := range owners {
+		script, err := runtime.NewScriptedOwner([]runtime.OwnerPhase{
+			{Duration: o.busyAfter, Util: 0.02, FreeMB: 40},
+			{Duration: 1e9, Util: o.util, Keyboard: true, FreeMB: 28},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := runtime.NewAgentServer(runtime.NewAgent(o.name, script, 64), l)
+		defer srv.Close()
+		c, err := runtime.DialAgent(srv.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+		fmt.Printf("agent %-6s on %s\n", o.name, srv.Addr())
+	}
+
+	cfg := runtime.DefaultCoordinatorConfig()
+	cfg.Policy = core.LingerLonger
+	coord, err := runtime.NewCoordinator(cfg, clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const jobs = 4
+	for i := 0; i < jobs; i++ {
+		if _, err := coord.Submit(200, 8); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nsubmitted %d guest jobs of 200 CPU-s under %v\n\n", jobs, cfg.Policy)
+
+	lastMigr, lastDone := 0, 0
+	for coord.Now() < 600 && len(coord.Completed()) < jobs {
+		if err := coord.Step(1); err != nil {
+			log.Fatal(err)
+		}
+		if m := coord.Migrations(); m != lastMigr {
+			fmt.Printf("t=%3.0fs  migration #%d (job state moved over TCP as a gob snapshot)\n",
+				coord.Now(), m)
+			lastMigr = m
+		}
+		for _, d := range coord.Completed()[lastDone:] {
+			fmt.Printf("t=%3.0fs  job %d finished on %-6s (response %.0f s)\n",
+				coord.Now(), d.Job.ID, d.Agent, d.CompletedAt-d.Job.SubmittedAt)
+			lastDone++
+		}
+	}
+	fmt.Printf("\n%d/%d jobs done, %d migrations\n", lastDone, jobs, coord.Migrations())
+}

@@ -1,0 +1,47 @@
+// Traceanalysis: the §3 workload characterization as a library user would
+// run it — how much idle capacity does a workstation pool really have, and
+// how much of it hides inside "non-idle" time that classical cycle
+// stealers never touch?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lingerlonger"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	corpus, err := linger.GenerateTraces(linger.DefaultTraceConfig(), 24, 7, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := linger.AnalyzeTraces(corpus)
+
+	fmt.Printf("corpus: %d machines, %d samples\n\n", cs.Machines, cs.Samples)
+	fmt.Printf("recruitment-threshold idleness (CPU < 10%% and no keyboard for 1 min):\n")
+	fmt.Printf("  idle:     %5.1f%% of the time (classical cycle stealing can use this)\n",
+		100*(1-cs.NonIdleFraction))
+	fmt.Printf("  non-idle: %5.1f%% of the time, but its mean CPU is only %.0f%%\n",
+		100*cs.NonIdleFraction, 100*cs.MeanCPUNonIdle)
+	fmt.Printf("  %.0f%% of non-idle samples sit below 10%% CPU — the headroom lingering exploits\n\n",
+		100*cs.FracNonIdleBelow10)
+
+	// Total harvestable CPU: the classical contract versus lingering.
+	classic := (1 - cs.NonIdleFraction) * (1 - cs.MeanCPUIdle)
+	lingering := classic + cs.NonIdleFraction*(1-cs.MeanCPUNonIdle)
+	fmt.Printf("harvestable CPU per workstation:\n")
+	fmt.Printf("  idle-only policies:  %.2f cpu-s per second\n", classic)
+	fmt.Printf("  with lingering:      %.2f cpu-s per second (+%.0f%%)\n\n",
+		lingering, 100*(lingering/classic-1))
+
+	// Memory headroom for a foreign job (Figure 4).
+	all, idle, nonIdle := linger.MemoryCDF(corpus)
+	fmt.Printf("free memory on 64 MB machines:\n")
+	fmt.Printf("  >= 14 MB free %.0f%% of the time; >= 10 MB free %.0f%% of the time\n",
+		100*(1-all.At(14)), 100*(1-all.At(10)))
+	fmt.Printf("  median free: idle %.0f MB vs non-idle %.0f MB — an 8 MB foreign job fits either way\n",
+		idle.Quantile(0.5), nonIdle.Quantile(0.5))
+}

@@ -1,0 +1,3 @@
+module lingerlonger
+
+go 1.22

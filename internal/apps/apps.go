@@ -1,0 +1,117 @@
+// Package apps models the paper's three "real" shared-memory parallel
+// applications — sor (Jacobi relaxation), water (molecular dynamics, from
+// SPLASH-2) and fft (fast Fourier transform) — on the BSP engine of
+// internal/parallel (§5.2).
+//
+// The paper ran the actual binaries through the CVM software-DSM simulator
+// with ATOM binary rewriting. Neither tool is available, so each
+// application is reduced to its iteration profile: CPU per process per
+// iteration, messages exchanged per iteration, and message latency. The
+// profiles preserve the property the paper's results hinge on — the
+// compute/communication ratio ordering — sor is the most compute-bound
+// (and so the most sensitive to local CPU activity), water communicates
+// more, and fft is the most communication-intensive (and least sensitive),
+// because time spent waiting on the network is not slowed by local jobs.
+// See DESIGN.md §2.
+package apps
+
+import (
+	"fmt"
+
+	"lingerlonger/internal/node"
+	"lingerlonger/internal/parallel"
+)
+
+// Profile is one application's per-iteration behaviour, normalized to a
+// 16-process run (the Figure 13 cluster size).
+type Profile struct {
+	Name string
+	// ComputePerIter is the CPU seconds one of 16 processes needs per
+	// iteration.
+	ComputePerIter float64
+	// MsgsPerIter is the number of messages each process exchanges per
+	// iteration.
+	MsgsPerIter int
+	// MsgLatency is the per-message time in seconds.
+	MsgLatency float64
+	// SyncCPUPerIter is the CPU each process spends handling
+	// synchronization and DSM protocol traffic per iteration (served at
+	// low priority, serialized around the processes — the CVM coherence
+	// pipeline).
+	SyncCPUPerIter float64
+	// Iters is the number of iterations in a full run.
+	Iters int
+}
+
+// CommFraction returns the fraction of an undisturbed iteration spent
+// communicating.
+func (p Profile) CommFraction() float64 {
+	comm := float64(p.MsgsPerIter) * p.MsgLatency
+	return comm / (p.ComputePerIter + comm)
+}
+
+// Sor returns the Jacobi-relaxation profile: fine-grain relaxation sweeps
+// with a light nearest-neighbour exchange — the most sensitive to local
+// activity, because nearly all of an iteration is low-priority compute.
+func Sor() Profile {
+	return Profile{Name: "sor", ComputePerIter: 0.050, MsgsPerIter: 2, MsgLatency: 0.001, SyncCPUPerIter: 0.0008, Iters: 120}
+}
+
+// Water returns the molecular-dynamics profile: moderate compute with
+// substantially more communication per step.
+func Water() Profile {
+	return Profile{Name: "water", ComputePerIter: 0.030, MsgsPerIter: 12, MsgLatency: 0.0012, SyncCPUPerIter: 0.0012, Iters: 150}
+}
+
+// FFT returns the fast-Fourier-transform profile: short compute steps
+// dominated by all-to-all exchanges — the least sensitive to local
+// activity.
+func FFT() Profile {
+	return Profile{Name: "fft", ComputePerIter: 0.040, MsgsPerIter: 7, MsgLatency: 0.004, SyncCPUPerIter: 0.0015, Iters: 90}
+}
+
+// Profiles returns the three applications in the paper's order.
+func Profiles() []Profile {
+	if profilesOverride != nil {
+		return profilesOverride
+	}
+	return []Profile{Sor(), Water(), FFT()}
+}
+
+// Validate checks profile sanity.
+func (p Profile) Validate() error {
+	if p.ComputePerIter <= 0 || p.Iters <= 0 {
+		return fmt.Errorf("apps: %s has non-positive compute or iterations", p.Name)
+	}
+	if p.MsgsPerIter < 0 || p.MsgLatency < 0 {
+		return fmt.Errorf("apps: %s has negative communication parameters", p.Name)
+	}
+	return nil
+}
+
+// BSPFor returns the BSP job description for running the application on
+// procs processes. The problem size is fixed (SPLASH fixed-size scaling):
+// per-process compute scales as 16/procs, and so does the per-process
+// communication volume — the same total data crosses the network through
+// fewer endpoints — while the iteration count stays constant.
+func (p Profile) BSPFor(procs int) (parallel.BSPConfig, error) {
+	if err := p.Validate(); err != nil {
+		return parallel.BSPConfig{}, err
+	}
+	if procs <= 0 {
+		return parallel.BSPConfig{}, fmt.Errorf("apps: %s on %d processes", p.Name, procs)
+	}
+	scale := 16 / float64(procs)
+	return parallel.BSPConfig{
+		Procs:           procs,
+		ComputePerPhase: p.ComputePerIter * scale,
+		Phases:          p.Iters,
+		MsgsPerPhase:    p.MsgsPerIter,
+		MsgLatency:      p.MsgLatency * scale,
+		ContextSwitch:   node.DefaultContextSwitch,
+		SyncHandlerCPU:  p.SyncCPUPerIter,
+	}, nil
+}
+
+// profilesOverride, when non-nil, replaces Profiles() — a testing hook.
+var profilesOverride []Profile

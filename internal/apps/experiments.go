@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"lingerlonger/internal/parallel"
+	"lingerlonger/internal/stats"
+)
+
+// Fig12Point is one bar of Figure 12: the slowdown of an application on an
+// eight-node cluster with the given number of non-idle nodes at the given
+// local utilization.
+type Fig12Point struct {
+	App       string
+	NonIdle   int     // 0..8 non-idle nodes
+	LocalUtil float64 // utilization of the non-idle nodes (0.10..0.40)
+	Slowdown  float64 // versus running on eight idle nodes
+}
+
+// Fig12 reproduces Figure 12: sor, water and fft on an 8-node cluster with
+// the number of non-idle nodes swept 0..8 and their local utilization at
+// 10, 20, 30 and 40%.
+func Fig12(seed int64) ([]Fig12Point, error) {
+	const procs = 8
+	rng := stats.NewRNG(seed)
+	var out []Fig12Point
+	for _, p := range Profiles() {
+		cfg, err := p.BSPFor(procs)
+		if err != nil {
+			return nil, err
+		}
+		base, err := parallel.RunBSP(cfg, make([]float64, procs), rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, lusg := range []float64{0.10, 0.20, 0.30, 0.40} {
+			for nonIdle := 0; nonIdle <= procs; nonIdle++ {
+				utils := make([]float64, procs)
+				for i := 0; i < nonIdle; i++ {
+					utils[i] = lusg
+				}
+				tm, err := parallel.RunBSP(cfg, utils, rng)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig12Point{
+					App:       p.Name,
+					NonIdle:   nonIdle,
+					LocalUtil: lusg,
+					Slowdown:  tm / base,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig13Point is one x-position of Figure 13: slowdown (versus a fully idle
+// 16-node run) under reconfiguration and the two linger variants, for one
+// application, given the number of idle nodes.
+type Fig13Point struct {
+	App       string
+	IdleNodes int // 16..0
+	// Reconfig reconfigures to the largest power-of-two number of idle
+	// nodes (+Inf when none are idle).
+	Reconfig float64
+	// LL16 runs 16 processes, lingering on (16 - idle) non-idle nodes.
+	LL16 float64
+	// LL8 runs 8 processes on idle nodes while at least 8 exist, lingering
+	// otherwise.
+	LL8 float64
+}
+
+// Fig13Config parameterizes the Figure 13 experiment.
+type Fig13Config struct {
+	ClusterSize int     // the paper: 16
+	NonIdleUtil float64 // the paper: 0.20
+	Seed        int64
+}
+
+// DefaultFig13Config returns the paper's setting.
+func DefaultFig13Config() Fig13Config {
+	return Fig13Config{ClusterSize: 16, NonIdleUtil: 0.20, Seed: 1}
+}
+
+// Fig13 reproduces Figure 13 for all three applications.
+func Fig13(cfg Fig13Config) ([]Fig13Point, error) {
+	if cfg.ClusterSize <= 0 {
+		return nil, fmt.Errorf("apps: ClusterSize must be positive, got %d", cfg.ClusterSize)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	var out []Fig13Point
+	for _, p := range Profiles() {
+		full, err := p.BSPFor(cfg.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		base, err := parallel.RunBSP(full, make([]float64, cfg.ClusterSize), rng)
+		if err != nil {
+			return nil, err
+		}
+
+		runOn := func(procs, nonIdle int) (float64, error) {
+			c, err := p.BSPFor(procs)
+			if err != nil {
+				return 0, err
+			}
+			utils := make([]float64, procs)
+			for i := 0; i < nonIdle && i < procs; i++ {
+				utils[i] = cfg.NonIdleUtil
+			}
+			tm, err := parallel.RunBSP(c, utils, rng)
+			if err != nil {
+				return 0, err
+			}
+			return tm / base, nil
+		}
+
+		for idle := cfg.ClusterSize; idle >= 0; idle-- {
+			pt := Fig13Point{App: p.Name, IdleNodes: idle}
+
+			// Reconfiguration: largest power of two idle nodes.
+			if kr := largestPow2(idle); kr == 0 {
+				pt.Reconfig = math.Inf(1)
+			} else {
+				sd, err := runOn(kr, 0)
+				if err != nil {
+					return nil, err
+				}
+				pt.Reconfig = sd
+			}
+
+			// 16-process lingering.
+			nonIdle16 := cfg.ClusterSize - idle
+			sd, err := runOn(cfg.ClusterSize, nonIdle16)
+			if err != nil {
+				return nil, err
+			}
+			pt.LL16 = sd
+
+			// 8-process lingering: idle nodes first.
+			nonIdle8 := 8 - idle
+			if nonIdle8 < 0 {
+				nonIdle8 = 0
+			}
+			sd, err = runOn(8, nonIdle8)
+			if err != nil {
+				return nil, err
+			}
+			pt.LL8 = sd
+
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+func largestPow2(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/workload"
+)
+
+func TestPickHybridFullClusterPrefersWide(t *testing.T) {
+	p := Sor()
+	choice, err := p.PickHybrid([]int{8, 16}, 16, 0.20, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Procs != 16 {
+		t.Errorf("full idle cluster: picked %d processes, want 16", choice.Procs)
+	}
+}
+
+func TestPickHybridBusyClusterPrefersNarrow(t *testing.T) {
+	p := Sor()
+	choice, err := p.PickHybrid([]int{8, 16}, 4, 0.20, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Procs != 8 {
+		t.Errorf("4 idle nodes: picked %d processes, want 8 (the Figure 13 flip)", choice.Procs)
+	}
+}
+
+func TestPickHybridErrors(t *testing.T) {
+	p := Water()
+	rng := stats.NewRNG(3)
+	if _, err := p.PickHybrid(nil, 4, 0.2, rng); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := p.PickHybrid([]int{0}, 4, 0.2, rng); err == nil {
+		t.Error("zero candidate accepted")
+	}
+	if _, err := p.PickHybrid([]int{8}, 4, 1.0, rng); err == nil {
+		t.Error("utilization 1.0 accepted")
+	}
+	bad := p
+	bad.Iters = 0
+	if _, err := bad.PickHybrid([]int{8}, 4, 0.2, rng); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestPredictIterTime(t *testing.T) {
+	table := workload.DefaultTable()
+	for _, p := range Profiles() {
+		idleTime, err := p.PredictIterTime(16, 16, 0.20, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		busyTime, err := p.PredictIterTime(16, 4, 0.20, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idleTime <= 0 {
+			t.Errorf("%s: non-positive idle prediction %g", p.Name, idleTime)
+		}
+		if busyTime <= idleTime {
+			t.Errorf("%s: lingering prediction %g not above idle %g", p.Name, busyTime, idleTime)
+		}
+	}
+	if _, err := Sor().PredictIterTime(0, 4, 0.2, nil); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := Sor().PredictIterTime(16, 4, -0.1, nil); err == nil {
+		t.Error("negative utilization accepted")
+	}
+}
+
+// The hybrid scheduler should track the lower envelope of the fixed
+// strategies: never much worse than the best of LL-16 / LL-8 / reconfig.
+func TestFigHybridTracksLowerEnvelope(t *testing.T) {
+	pts, err := FigHybrid(DefaultFig13Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3*17 {
+		t.Fatalf("points = %d, want 51", len(pts))
+	}
+	for _, p := range pts {
+		if p.Slowdown <= 0 {
+			t.Errorf("%s idle=%d: slowdown %g", p.App, p.IdleNodes, p.Slowdown)
+		}
+		if math.IsInf(p.BestFixed, 1) {
+			continue
+		}
+		if p.Slowdown > p.BestFixed*1.3 {
+			t.Errorf("%s idle=%d: hybrid %g much worse than best fixed %g",
+				p.App, p.IdleNodes, p.Slowdown, p.BestFixed)
+		}
+	}
+	// At 0 idle it must still run (unlike reconfiguration).
+	for _, p := range pts {
+		if p.IdleNodes == 0 && (p.Slowdown <= 1 || math.IsInf(p.Slowdown, 1)) {
+			t.Errorf("%s at 0 idle: hybrid slowdown %g", p.App, p.Slowdown)
+		}
+	}
+	// The scheduler adapts: it picks wide when the cluster is idle and
+	// narrow when it is busy.
+	for _, p := range pts {
+		if p.IdleNodes == 16 && p.Procs != 16 {
+			t.Errorf("%s at 16 idle: picked %d procs", p.App, p.Procs)
+		}
+		if p.IdleNodes == 2 && p.Procs != 8 {
+			t.Errorf("%s at 2 idle: picked %d procs, want 8", p.App, p.Procs)
+		}
+	}
+}

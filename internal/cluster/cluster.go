@@ -1,0 +1,567 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/node"
+	"lingerlonger/internal/predict"
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/trace"
+	"lingerlonger/internal/workload"
+)
+
+// Config parameterizes a cluster simulation. Start from DefaultConfig.
+type Config struct {
+	Nodes  int         // cluster size (the paper: 64)
+	Policy core.Policy // scheduling discipline
+
+	NumJobs float64 // number of foreign jobs submitted at t=0
+	JobCPU  float64 // CPU seconds each job needs
+	JobMB   float64 // process image size, megabytes (the paper: 8)
+
+	Migration     core.MigrationCost
+	PauseTime     float64 // PM fixed suspend interval, seconds
+	ContextSwitch float64 // effective context-switch time, seconds
+
+	MemoryCheck bool // require free memory >= JobMB at placement
+
+	// LingerMultiplier scales the LL cost-model linger duration; 0 means
+	// the model value (1.0). It is the ablation knob for the linger
+	// deadline: small values approach immediate eviction with priority,
+	// large values approach Linger-Forever.
+	LingerMultiplier float64
+
+	// Predictor estimates the remaining length of a non-idle episode for
+	// the LL migration decision; nil selects the paper's 2x-age rule
+	// (predict.MedianLife). The LL rule is: migrate once the predicted
+	// remainder reaches ((1-l)/(h-l))*Tmigr.
+	Predictor predict.Predictor
+
+	// Placement selects how queued jobs choose among eligible nodes.
+	Placement Placement
+
+	MaxTime float64 // simulation horizon safety, seconds
+	Seed    int64
+}
+
+// Placement is the strategy for choosing a destination among eligible
+// nodes.
+type Placement int
+
+const (
+	// PlaceLowestUtil picks the eligible node with the lowest current CPU
+	// utilization (the default, and what the paper implies).
+	PlaceLowestUtil Placement = iota
+	// PlaceRandom picks uniformly among eligible nodes.
+	PlaceRandom
+	// PlaceFirstFit picks the lowest-numbered eligible node.
+	PlaceFirstFit
+)
+
+// String returns the placement name.
+func (p Placement) String() string {
+	switch p {
+	case PlaceLowestUtil:
+		return "lowest-util"
+	case PlaceRandom:
+		return "random"
+	case PlaceFirstFit:
+		return "first-fit"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// DefaultConfig returns the paper's Workload-1 setting on a 64-node
+// cluster: 128 jobs of 600 CPU-seconds, 8 MB images, the 3 Mbps effective
+// migration path and a 100 µs context switch. The PM pause interval,
+// unspecified in the paper, defaults to 30 seconds.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:         64,
+		Policy:        core.LingerLonger,
+		NumJobs:       128,
+		JobCPU:        600,
+		JobMB:         8,
+		Migration:     core.DefaultMigrationCost(),
+		PauseTime:     30,
+		ContextSwitch: node.DefaultContextSwitch,
+		MemoryCheck:   true,
+		MaxTime:       200000,
+		Seed:          1,
+	}
+}
+
+// Workload1 returns the paper's heavy workload: 128 jobs x 600 CPU-s
+// (about two jobs per node).
+func Workload1(policy core.Policy) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	return cfg
+}
+
+// Workload2 returns the paper's light workload: 16 jobs x 1800 CPU-s
+// (a quarter of the nodes needed).
+func Workload2(policy core.Policy) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	cfg.NumJobs = 16
+	cfg.JobCPU = 1800
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.NumJobs < 0 || c.NumJobs != math.Trunc(c.NumJobs) {
+		return fmt.Errorf("cluster: NumJobs must be a non-negative integer, got %g", c.NumJobs)
+	}
+	if c.JobCPU <= 0 {
+		return fmt.Errorf("cluster: JobCPU must be positive, got %g", c.JobCPU)
+	}
+	if c.JobMB < 0 {
+		return fmt.Errorf("cluster: JobMB must be non-negative, got %g", c.JobMB)
+	}
+	if c.PauseTime < 0 {
+		return fmt.Errorf("cluster: PauseTime must be non-negative, got %g", c.PauseTime)
+	}
+	if c.ContextSwitch < 0 {
+		return fmt.Errorf("cluster: ContextSwitch must be non-negative, got %g", c.ContextSwitch)
+	}
+	if c.LingerMultiplier < 0 {
+		return fmt.Errorf("cluster: LingerMultiplier must be non-negative, got %g", c.LingerMultiplier)
+	}
+	if c.MaxTime <= 0 {
+		return fmt.Errorf("cluster: MaxTime must be positive, got %g", c.MaxTime)
+	}
+	return nil
+}
+
+// simNode is one workstation of the simulated cluster.
+type simNode struct {
+	id   int
+	view *trace.View
+	fine *node.Node
+
+	job      *Job // occupying job, if any
+	reserved *Job // job migrating toward this node, if any
+
+	inEpisode      bool // inside a non-idle episode with a foreign job attached
+	episodeStart   float64
+	episodeUtilSum float64
+	episodeWindows int
+}
+
+// free reports whether a new job may be placed or migrated here.
+func (n *simNode) free() bool { return n.job == nil && n.reserved == nil }
+
+// idleAt reports the recruitment-threshold idle state at time t.
+func (n *simNode) idleAt(t float64) bool { return n.view.IdleAt(t) }
+
+// episodeUtil returns the average local utilization observed over the
+// current non-idle episode (the cost model's h).
+func (n *simNode) episodeUtil() float64 {
+	if n.episodeWindows == 0 {
+		return 0
+	}
+	return n.episodeUtilSum / float64(n.episodeWindows)
+}
+
+type simulation struct {
+	cfg       Config
+	decider   core.Decider
+	predictor predict.Predictor
+	rng       *stats.RNG
+
+	nodes     []*simNode
+	queue     []*Job
+	jobs      []*Job
+	migrating []*Job
+
+	now         float64
+	replace     bool // throughput mode: completed jobs respawn
+	nextJobID   int
+	foreignCPU  float64
+	localDemand float64 // total local CPU demand across all nodes, seconds
+	migrations  int
+	evictions   int
+	completed   int
+}
+
+const step = trace.SampleInterval
+
+// newSimulation builds the cluster: each node replays a randomly chosen
+// trace at a random offset (the paper's Figure 6 procedure) and carries a
+// fine-grain strict-priority node model.
+func newSimulation(cfg Config, corpus []*trace.Trace) (*simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("cluster: empty trace corpus")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	table := workload.DefaultTable()
+	predictor := cfg.Predictor
+	if predictor == nil {
+		predictor = predict.MedianLife{}
+	}
+	s := &simulation{
+		cfg:       cfg,
+		decider:   core.Decider{Cost: cfg.Migration},
+		predictor: predictor,
+		nodes:     make([]*simNode, cfg.Nodes),
+	}
+	for i := range s.nodes {
+		tr := corpus[rng.Intn(len(corpus))]
+		offset := rng.Float64() * tr.Duration()
+		view := trace.NewView(tr, offset)
+		s.nodes[i] = &simNode{
+			id:   i,
+			view: view,
+			fine: node.New(node.Config{ContextSwitch: cfg.ContextSwitch}, table, view, rng.Split()),
+		}
+	}
+	s.rng = rng.Split()
+	for i := 0; i < int(cfg.NumJobs); i++ {
+		s.spawnJob()
+	}
+	return s, nil
+}
+
+func (s *simulation) spawnJob() *Job {
+	j := newJob(s.nextJobID, s.cfg.JobCPU, s.cfg.JobMB, s.now)
+	s.nextJobID++
+	s.jobs = append(s.jobs, j)
+	s.queue = append(s.queue, j)
+	return j
+}
+
+// canHost reports whether nd has enough free memory for job j right now.
+func (s *simulation) canHost(nd *simNode, j *Job) bool {
+	if !s.cfg.MemoryCheck {
+		return true
+	}
+	return nd.view.SampleAt(s.now).FreeMB >= j.SizeMB
+}
+
+// findDest returns the best destination for job j among eligible nodes:
+// idle free nodes first, or — when allowNonIdle (the linger policies'
+// placement rule) — non-idle free nodes as a fallback. Within each class
+// the Placement strategy picks the node. exclude is skipped.
+func (s *simulation) findDest(j *Job, allowNonIdle bool, exclude *simNode) *simNode {
+	var idle, nonIdle []*simNode
+	for _, nd := range s.nodes {
+		if nd == exclude || !nd.free() || !s.canHost(nd, j) {
+			continue
+		}
+		if nd.idleAt(s.now) {
+			idle = append(idle, nd)
+		} else if allowNonIdle {
+			nonIdle = append(nonIdle, nd)
+		}
+	}
+	if len(idle) > 0 {
+		return s.pick(idle)
+	}
+	if len(nonIdle) > 0 {
+		return s.pick(nonIdle)
+	}
+	return nil
+}
+
+// pick applies the placement strategy to a non-empty candidate list.
+func (s *simulation) pick(candidates []*simNode) *simNode {
+	switch s.cfg.Placement {
+	case PlaceRandom:
+		return candidates[s.rng.Intn(len(candidates))]
+	case PlaceFirstFit:
+		best := candidates[0]
+		for _, nd := range candidates[1:] {
+			if nd.id < best.id {
+				best = nd
+			}
+		}
+		return best
+	default: // PlaceLowestUtil
+		best := candidates[0]
+		bestU := best.view.UtilizationAt(s.now)
+		for _, nd := range candidates[1:] {
+			if u := nd.view.UtilizationAt(s.now); u < bestU {
+				best, bestU = nd, u
+			}
+		}
+		return best
+	}
+}
+
+// attach places job j on node nd at time at with scheduling state derived
+// from the node's idle state.
+func (s *simulation) attach(j *Job, nd *simNode, at float64) {
+	nd.job = j
+	nd.reserved = nil
+	j.node = nd
+	if nd.idleAt(at) {
+		j.setState(Running, at)
+		nd.inEpisode = false
+	} else {
+		j.setState(Lingering, at)
+		nd.inEpisode = true
+		nd.episodeStart = at
+		nd.episodeUtilSum = nd.view.UtilizationAt(at)
+		nd.episodeWindows = 1
+	}
+}
+
+// detach removes job j from its node.
+func (s *simulation) detach(j *Job) *simNode {
+	nd := j.node
+	nd.job = nil
+	nd.inEpisode = false
+	j.node = nil
+	return nd
+}
+
+// startMigration moves j from its node toward dest.
+func (s *simulation) startMigration(j *Job, dest *simNode) {
+	s.detach(j)
+	dest.reserved = j
+	j.setState(Migrating, s.now)
+	j.migrationEnd = s.now + s.cfg.Migration.Time(j.SizeMB)
+	s.migrating = append(s.migrating, j)
+	s.migrations++
+}
+
+// requeue puts j back on the scheduler queue.
+func (s *simulation) requeue(j *Job) {
+	if j.node != nil {
+		s.detach(j)
+	}
+	j.setState(Queued, s.now)
+	s.queue = append(s.queue, j)
+}
+
+// boundaryActions applies policy decisions for every occupied node at the
+// current window boundary.
+func (s *simulation) boundaryActions() {
+	for _, nd := range s.nodes {
+		j := nd.job
+		if j == nil {
+			continue
+		}
+		idle := nd.idleAt(s.now)
+		switch j.state {
+		case Running:
+			if idle {
+				continue
+			}
+			// The owner came back: a non-idle episode begins.
+			nd.inEpisode = true
+			nd.episodeStart = s.now
+			nd.episodeUtilSum = nd.view.UtilizationAt(s.now)
+			nd.episodeWindows = 1
+			s.ownerReturned(j, nd)
+		case Lingering:
+			if idle {
+				// Episode over; back to full-speed running. Completed
+				// episode lengths train learning predictors.
+				s.predictor.Record(s.now - nd.episodeStart)
+				nd.inEpisode = false
+				j.setState(Running, s.now)
+				continue
+			}
+			nd.episodeUtilSum += nd.view.UtilizationAt(s.now)
+			nd.episodeWindows++
+			s.lingerDecision(j, nd)
+		case Paused:
+			if idle {
+				j.setState(Running, s.now)
+				nd.inEpisode = false
+				continue
+			}
+			if s.now >= j.pauseEnd {
+				if dest := s.findDest(j, false, nd); dest != nil {
+					s.startMigration(j, dest)
+				} else {
+					s.evictions++
+					s.requeue(j)
+				}
+			}
+		}
+	}
+}
+
+// ownerReturned handles the transition of a Running job's node to
+// non-idle, per policy.
+func (s *simulation) ownerReturned(j *Job, nd *simNode) {
+	switch s.cfg.Policy {
+	case core.ImmediateEviction:
+		if dest := s.findDest(j, false, nd); dest != nil {
+			s.startMigration(j, dest)
+		} else {
+			s.evictions++
+			s.requeue(j)
+		}
+	case core.PauseAndMigrate:
+		j.setState(Paused, s.now)
+		j.pauseEnd = s.now + s.cfg.PauseTime
+	case core.LingerLonger, core.LingerForever:
+		j.setState(Lingering, s.now)
+		s.lingerDecision(j, nd)
+	}
+}
+
+// lingerDecision applies the LL cost model (LF never migrates).
+func (s *simulation) lingerDecision(j *Job, nd *simNode) {
+	if s.cfg.Policy != core.LingerLonger {
+		return
+	}
+	dest := s.findDest(j, false, nd) // migration targets idle nodes only
+	if dest == nil {
+		return
+	}
+	age := s.now - nd.episodeStart
+	h := nd.episodeUtil()
+	l := dest.view.UtilizationAt(s.now)
+	if h > 1 {
+		h = 1
+	}
+	if l > 1 {
+		l = 1
+	}
+	mult := s.cfg.LingerMultiplier
+	if mult == 0 {
+		mult = 1
+	}
+	// Migrate once the predicted episode remainder exceeds the break-even
+	// transfer horizon ((1-l)/(h-l))*Tmigr. With the paper's 2x-age
+	// predictor (remaining = age) this reduces to age >= Tlingr.
+	remaining := s.predictor.PredictRemaining(age)
+	if remaining >= mult*s.decider.LingerDeadline(h, l, j.SizeMB) {
+		s.startMigration(j, dest)
+	}
+}
+
+// placeQueued assigns queued jobs to free nodes. The linger policies may
+// place on non-idle nodes when no idle node is free ("run jobs on any
+// semi-available node").
+func (s *simulation) placeQueued() {
+	if len(s.queue) == 0 {
+		return
+	}
+	allowNonIdle := s.cfg.Policy.Lingers()
+	remaining := s.queue[:0]
+	for _, j := range s.queue {
+		if dest := s.findDest(j, allowNonIdle, nil); dest != nil {
+			s.attach(j, dest, s.now)
+		} else {
+			remaining = append(remaining, j)
+		}
+	}
+	s.queue = remaining
+}
+
+// arriveMigrations attaches jobs whose migration completes within the
+// current window and serves them for the window remainder.
+func (s *simulation) arriveMigrations(windowEnd float64) {
+	remaining := s.migrating[:0]
+	for _, j := range s.migrating {
+		if j.migrationEnd > windowEnd {
+			remaining = append(remaining, j)
+			continue
+		}
+		dest := s.findReservation(j)
+		s.attach(j, dest, j.migrationEnd)
+		s.serveJob(j, windowEnd)
+	}
+	s.migrating = remaining
+}
+
+func (s *simulation) findReservation(j *Job) *simNode {
+	for _, nd := range s.nodes {
+		if nd.reserved == j {
+			return nd
+		}
+	}
+	panic(fmt.Sprintf("cluster: migrating job %d has no reservation", j.ID))
+}
+
+// serveJob runs j's node until windowEnd, handling completion.
+func (s *simulation) serveJob(j *Job, windowEnd float64) {
+	nd := j.node
+	start := j.stateSince
+	if nd.fine.Now() < start {
+		nd.fine.Advance(start)
+	}
+	if nd.fine.Now() >= windowEnd {
+		return
+	}
+	delivered := nd.fine.ServeForeign(j.remaining, windowEnd)
+	j.remaining -= delivered
+	s.foreignCPU += delivered
+	if j.remaining <= 1e-9 {
+		done := nd.fine.Now()
+		s.detach(j)
+		j.setState(Done, done)
+		j.completedAt = done
+		s.completed++
+		if s.replace {
+			nj := newJob(s.nextJobID, s.cfg.JobCPU, s.cfg.JobMB, done)
+			s.nextJobID++
+			s.jobs = append(s.jobs, nj)
+			s.queue = append(s.queue, nj)
+		}
+	}
+}
+
+// serveWindow services every attached job for [now, windowEnd).
+func (s *simulation) serveWindow(windowEnd float64) {
+	for _, nd := range s.nodes {
+		j := nd.job
+		if j == nil {
+			continue
+		}
+		switch j.state {
+		case Running, Lingering:
+			s.serveJob(j, windowEnd)
+		}
+	}
+}
+
+// stepOnce advances the simulation by one trace window.
+func (s *simulation) stepOnce() {
+	windowEnd := s.now + step
+	for _, nd := range s.nodes {
+		s.localDemand += nd.view.UtilizationAt(s.now) * step
+	}
+	s.boundaryActions()
+	s.placeQueued()
+	s.serveWindow(windowEnd)
+	s.arriveMigrations(windowEnd)
+	s.now = windowEnd
+}
+
+// batchDone reports whether every job has completed.
+func (s *simulation) batchDone() bool {
+	return s.completed >= len(s.jobs)
+}
+
+// localDelay aggregates the owner slowdown across the whole cluster: total
+// context-switch delay charged to local bursts over total local CPU demand
+// on every node — the paper's "average increase in completion time of a
+// CPU request for local processes", which averages over nodes without a
+// lingering foreign job as well.
+func (s *simulation) localDelay() float64 {
+	if s.localDemand == 0 {
+		return 0
+	}
+	var delay float64
+	for _, nd := range s.nodes {
+		delay += nd.fine.LocalDelay()
+	}
+	return delay / s.localDemand
+}

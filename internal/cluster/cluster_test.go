@@ -1,0 +1,354 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/trace"
+)
+
+// testCorpus builds a small trace corpus shared by the tests.
+func testCorpus(t testing.TB, machines, days int, seed int64) []*trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Days = days
+	corpus, err := trace.GenerateCorpus(cfg, machines, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+// smallConfig is a scaled-down workload that completes quickly.
+func smallConfig(p core.Policy) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = p
+	cfg.Nodes = 16
+	cfg.NumJobs = 32
+	cfg.JobCPU = 200
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.NumJobs = -1 },
+		func(c *Config) { c.NumJobs = 1.5 },
+		func(c *Config) { c.JobCPU = 0 },
+		func(c *Config) { c.JobMB = -1 },
+		func(c *Config) { c.PauseTime = -1 },
+		func(c *Config) { c.ContextSwitch = -1 },
+		func(c *Config) { c.MaxTime = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsEmptyCorpus(t *testing.T) {
+	if _, err := Run(DefaultConfig(), nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 1)
+	for _, p := range core.Policies {
+		res, err := Run(smallConfig(p), corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Incomplete != 0 {
+			t.Errorf("%v: %d incomplete jobs", p, res.Incomplete)
+		}
+		if len(res.Jobs) != 32 {
+			t.Errorf("%v: %d jobs recorded, want 32", p, len(res.Jobs))
+		}
+		if res.AvgCompletion <= 0 || res.FamilyTime < res.AvgCompletion {
+			t.Errorf("%v: implausible metrics: avg=%g family=%g", p, res.AvgCompletion, res.FamilyTime)
+		}
+	}
+}
+
+// Invariant: for every completed job the per-state times add up exactly to
+// the interval between submission and completion.
+func TestStateTimeConservation(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 2)
+	for _, p := range core.Policies {
+		res, err := Run(smallConfig(p), corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range res.Jobs {
+			if j.CompletedAt() < 0 {
+				continue
+			}
+			sum := j.TimeIn(Queued) + j.TimeIn(Running) + j.TimeIn(Lingering) +
+				j.TimeIn(Paused) + j.TimeIn(Migrating)
+			want := j.CompletedAt() - j.enqueuedAt
+			if math.Abs(sum-want) > 1e-6 {
+				t.Fatalf("%v job %d: state times sum to %g, lifetime %g", p, j.ID, sum, want)
+			}
+		}
+	}
+}
+
+// Invariant: a completed job received exactly its CPU demand.
+func TestJobsReceiveExactDemand(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 3)
+	res, err := Run(smallConfig(core.LingerLonger), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		if j.CompletedAt() >= 0 && j.Remaining() > 1e-9 {
+			t.Errorf("job %d done with %g CPU remaining", j.ID, j.Remaining())
+		}
+		// A job can never run faster than real time.
+		if j.CompletedAt() >= 0 && j.executionTime() < j.CPUDemand-1e-6 {
+			t.Errorf("job %d executed in %g s, less than its %g s CPU demand",
+				j.ID, j.executionTime(), j.CPUDemand)
+		}
+	}
+}
+
+func TestLingerForeverNeverMigrates(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 4)
+	res, err := Run(smallConfig(core.LingerForever), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("LF performed %d migrations", res.Migrations)
+	}
+	if res.Breakdown.Paused != 0 {
+		t.Errorf("LF paused jobs for %g s", res.Breakdown.Paused)
+	}
+}
+
+func TestImmediateEvictionBarelyLingers(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 5)
+	res, err := Run(smallConfig(core.ImmediateEviction), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IE may touch the Lingering state only transiently (a migration
+	// landing on a node that turned busy mid-flight, evicted at the next
+	// boundary).
+	if res.Breakdown.Lingering > 0.05*res.AvgCompletion {
+		t.Errorf("IE lingering %g s of %g avg completion", res.Breakdown.Lingering, res.AvgCompletion)
+	}
+}
+
+func TestPauseOnlyUnderPM(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 6)
+	for _, p := range []core.Policy{core.LingerLonger, core.ImmediateEviction} {
+		res, err := Run(smallConfig(p), corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Breakdown.Paused != 0 {
+			t.Errorf("%v paused jobs", p)
+		}
+	}
+}
+
+// The headline result: under a heavy workload the linger policies beat the
+// eviction policies on completion time and throughput.
+func TestLingerBeatsEvictionHeavyLoad(t *testing.T) {
+	corpus := testCorpus(t, 8, 1, 7)
+	results := map[core.Policy]*Result{}
+	for _, p := range core.Policies {
+		cfg := Workload1(p)
+		cfg.Nodes = 32
+		cfg.NumJobs = 64
+		cfg.JobCPU = 400
+		res, err := Run(cfg, corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[p] = res
+	}
+	ll, ie, pm := results[core.LingerLonger], results[core.ImmediateEviction], results[core.PauseAndMigrate]
+	if ll.AvgCompletion >= ie.AvgCompletion {
+		t.Errorf("LL avg %g not better than IE %g", ll.AvgCompletion, ie.AvgCompletion)
+	}
+	if ll.AvgCompletion >= pm.AvgCompletion {
+		t.Errorf("LL avg %g not better than PM %g", ll.AvgCompletion, pm.AvgCompletion)
+	}
+	if ll.FamilyTime >= ie.FamilyTime {
+		t.Errorf("LL family %g not better than IE %g", ll.FamilyTime, ie.FamilyTime)
+	}
+	// Queue time is where the advantage comes from (Figure 8).
+	if ll.Breakdown.Queued >= ie.Breakdown.Queued {
+		t.Errorf("LL queue time %g not below IE %g", ll.Breakdown.Queued, ie.Breakdown.Queued)
+	}
+}
+
+func TestThroughputLingerAdvantage(t *testing.T) {
+	corpus := testCorpus(t, 8, 1, 8)
+	tp := map[core.Policy]*ThroughputResult{}
+	for _, p := range []core.Policy{core.LingerLonger, core.PauseAndMigrate} {
+		cfg := Workload1(p)
+		cfg.Nodes = 32
+		cfg.NumJobs = 64
+		res, err := RunThroughput(cfg, corpus, 1800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp[p] = res
+	}
+	gain := tp[core.LingerLonger].Throughput / tp[core.PauseAndMigrate].Throughput
+	// Paper: LL improves throughput by ~50% over PM (LF by 60%).
+	if gain < 1.2 {
+		t.Errorf("LL/PM throughput gain = %.2f, want > 1.2", gain)
+	}
+	if gain > 2.5 {
+		t.Errorf("LL/PM throughput gain = %.2f, implausibly high", gain)
+	}
+}
+
+// Under the light workload every policy performs about the same (paper:
+// 1859-1862 s).
+func TestLightLoadPoliciesEquivalent(t *testing.T) {
+	corpus := testCorpus(t, 8, 1, 9)
+	var lo, hi float64
+	for i, p := range core.Policies {
+		cfg := Workload2(p)
+		cfg.Nodes = 32
+		cfg.NumJobs = 8
+		cfg.JobCPU = 900
+		res, err := Run(cfg, corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := res.AvgCompletion
+		if i == 0 {
+			lo, hi = a, a
+		} else {
+			lo, hi = math.Min(lo, a), math.Max(hi, a)
+		}
+	}
+	if (hi-lo)/lo > 0.10 {
+		t.Errorf("light-load completion spread %.1f%% across policies, want < 10%%", 100*(hi-lo)/lo)
+	}
+}
+
+// Paper headline: foreground slowdown below half a percent.
+func TestLocalDelayBelowHalfPercent(t *testing.T) {
+	corpus := testCorpus(t, 8, 1, 10)
+	cfg := Workload1(core.LingerLonger)
+	cfg.Nodes = 32
+	cfg.NumJobs = 64
+	cfg.JobCPU = 400
+	res, err := Run(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalDelay > 0.006 {
+		t.Errorf("local delay = %.4f, want <= ~0.005 (paper: 0.5%%)", res.LocalDelay)
+	}
+	if res.LocalDelay <= 0 {
+		t.Error("local delay is zero — lingering had no measurable cost, which is implausible")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 11)
+	a, err := Run(smallConfig(core.LingerLonger), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(core.LingerLonger), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgCompletion != b.AvgCompletion || a.FamilyTime != b.FamilyTime || a.Migrations != b.Migrations {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestMemoryCheckBlocksOversizedJobs(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 12)
+	cfg := smallConfig(core.LingerLonger)
+	cfg.JobMB = 1000 // larger than any machine's free memory
+	cfg.MaxTime = 2000
+	res, err := Run(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete != 32 {
+		t.Errorf("%d incomplete, want all 32 blocked by the memory check", res.Incomplete)
+	}
+	cfg.MemoryCheck = false
+	res, err = Run(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete == 32 {
+		t.Error("disabling MemoryCheck still blocked every job")
+	}
+}
+
+func TestRunThroughputRejectsBadDuration(t *testing.T) {
+	corpus := testCorpus(t, 2, 1, 13)
+	if _, err := RunThroughput(DefaultConfig(), corpus, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestFig7ProducesFourRows(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 14)
+	cfg := smallConfig(core.LingerLonger)
+	rows, err := Fig7(cfg, corpus, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Fig7 rows = %d, want 4", len(rows))
+	}
+	want := []string{"LL", "LF", "IE", "PM"}
+	for i, r := range rows {
+		if r.Policy != want[i] {
+			t.Errorf("row %d policy = %q, want %q", i, r.Policy, want[i])
+		}
+		if r.AvgCompletion <= 0 || r.Throughput <= 0 {
+			t.Errorf("row %+v has non-positive metrics", r)
+		}
+	}
+}
+
+func TestStateBreakdownTotalMatchesAvgCompletion(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 15)
+	res, err := Run(smallConfig(core.PauseAndMigrate), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(res.Breakdown.Total() - res.AvgCompletion); diff > 1e-6 {
+		t.Errorf("breakdown total %g != avg completion %g", res.Breakdown.Total(), res.AvgCompletion)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		Queued: "queued", Running: "running", Lingering: "lingering",
+		Paused: "paused", Migrating: "migrating", Done: "done",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	if State(42).String() != "State(42)" {
+		t.Errorf("unknown state String() = %q", State(42).String())
+	}
+}

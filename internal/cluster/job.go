@@ -1,0 +1,134 @@
+// Package cluster simulates a shared workstation cluster running
+// sequential foreign jobs under the four scheduling policies of the paper
+// (§4.2): Linger-Longer, Linger-Forever, Immediate-Eviction, and
+// Pause-and-Migrate.
+//
+// Each node replays a coarse-grain workstation trace; a foreign job
+// attached to a node is served through the fine-grain strict-priority
+// model of internal/node. The simulator advances in trace-window steps
+// (two seconds): policy decisions — evictions, pauses, linger/migrate
+// choices, placements — happen at window boundaries, matching the trace
+// sampling granularity, while job service, completions and migration
+// arrivals resolve at exact instants inside windows.
+package cluster
+
+import "fmt"
+
+// State is a foreign job's scheduling state. The five states are exactly
+// the Figure 8 breakdown.
+type State int
+
+const (
+	// Queued: waiting for a node.
+	Queued State = iota
+	// Running: executing on an idle node.
+	Running
+	// Lingering: executing at low priority on a non-idle node.
+	Lingering
+	// Paused: suspended in place (Pause-and-Migrate).
+	Paused
+	// Migrating: process image in transit between nodes.
+	Migrating
+	// Done: completed. Terminal.
+	Done
+	numStates = int(Done) + 1
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Lingering:
+		return "lingering"
+	case Paused:
+		return "paused"
+	case Migrating:
+		return "migrating"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Job is one sequential foreign job.
+type Job struct {
+	ID        int
+	CPUDemand float64 // total CPU seconds required
+	SizeMB    float64 // process image size (drives migration cost)
+
+	remaining float64
+	state     State
+	node      *simNode // occupied node while Running/Lingering/Paused
+
+	migrationEnd float64
+	pauseEnd     float64
+
+	// Statistics.
+	enqueuedAt  float64
+	firstStart  float64 // -1 until first execution
+	completedAt float64 // -1 until done
+	stateSince  float64
+	timeIn      [numStates]float64
+}
+
+func newJob(id int, cpu, sizeMB, now float64) *Job {
+	return &Job{
+		ID:          id,
+		CPUDemand:   cpu,
+		SizeMB:      sizeMB,
+		remaining:   cpu,
+		state:       Queued,
+		enqueuedAt:  now,
+		firstStart:  -1,
+		completedAt: -1,
+		stateSince:  now,
+	}
+}
+
+// State returns the job's current scheduling state.
+func (j *Job) State() State { return j.state }
+
+// Remaining returns the CPU seconds still owed.
+func (j *Job) Remaining() float64 { return j.remaining }
+
+// CompletedAt returns the completion instant, or -1 if not finished.
+func (j *Job) CompletedAt() float64 { return j.completedAt }
+
+// FirstStart returns the instant the job first executed, or -1.
+func (j *Job) FirstStart() float64 { return j.firstStart }
+
+// TimeIn returns the total time spent in state s so far.
+func (j *Job) TimeIn(s State) float64 { return j.timeIn[s] }
+
+// setState moves the job to state s at time now, accumulating the time
+// spent in the previous state.
+func (j *Job) setState(s State, now float64) {
+	j.timeIn[j.state] += now - j.stateSince
+	j.state = s
+	j.stateSince = now
+	if (s == Running || s == Lingering) && j.firstStart < 0 {
+		j.firstStart = now
+	}
+}
+
+// executionTime returns completion minus first start (the paper's
+// "execution time" used for the variation metric), or 0 if unfinished.
+func (j *Job) executionTime() float64 {
+	if j.completedAt < 0 || j.firstStart < 0 {
+		return 0
+	}
+	return j.completedAt - j.firstStart
+}
+
+// completionTime returns completion minus submission (the paper's "average
+// completion time", including queueing), or 0 if unfinished.
+func (j *Job) completionTime() float64 {
+	if j.completedAt < 0 {
+		return 0
+	}
+	return j.completedAt - j.enqueuedAt
+}

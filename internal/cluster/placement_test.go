@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/predict"
+)
+
+func TestPlacementString(t *testing.T) {
+	cases := map[Placement]string{
+		PlaceLowestUtil: "lowest-util",
+		PlaceRandom:     "random",
+		PlaceFirstFit:   "first-fit",
+		Placement(9):    "Placement(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestPlacementStrategiesAllComplete(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 30)
+	for _, pl := range []Placement{PlaceLowestUtil, PlaceRandom, PlaceFirstFit} {
+		cfg := smallConfig(core.LingerLonger)
+		cfg.Placement = pl
+		res, err := Run(cfg, corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Incomplete != 0 {
+			t.Errorf("%v: %d incomplete jobs", pl, res.Incomplete)
+		}
+	}
+}
+
+func TestPlacementAffectsOutcomeDeterministically(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 31)
+	cfg := smallConfig(core.LingerLonger)
+	cfg.Placement = PlaceRandom
+	a, err := Run(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgCompletion != b.AvgCompletion {
+		t.Error("random placement not reproducible from the seed")
+	}
+}
+
+// The paper's 2x-age predictor and an equivalent explicit MedianLife
+// predictor must make identical decisions.
+func TestDefaultPredictorEquivalence(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 32)
+	implicit := smallConfig(core.LingerLonger)
+	explicit := smallConfig(core.LingerLonger)
+	explicit.Predictor = predict.MedianLife{}
+	a, err := Run(implicit, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(explicit, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgCompletion != b.AvgCompletion || a.Migrations != b.Migrations {
+		t.Errorf("explicit MedianLife differs from default: %v/%v vs %v/%v",
+			a.AvgCompletion, a.Migrations, b.AvgCompletion, b.Migrations)
+	}
+}
+
+// A zero-horizon predictor always predicts no remaining episode, so LL
+// never migrates — behaving like Linger-Forever.
+func TestZeroPredictorActsLikeLF(t *testing.T) {
+	corpus := testCorpus(t, 4, 1, 33)
+	cfg := smallConfig(core.LingerLonger)
+	cfg.Predictor = predict.FixedHorizon{Horizon: 0}
+	res, err := Run(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("zero-horizon predictor still migrated %d times", res.Migrations)
+	}
+}
+
+// An always-huge predictor migrates at the first opportunity whenever a
+// destination exists — at least as many migrations as the 2x rule.
+func TestEagerPredictorMigratesMore(t *testing.T) {
+	corpus := testCorpus(t, 6, 1, 34)
+	base := smallConfig(core.LingerLonger)
+	resBase, err := Run(base, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := smallConfig(core.LingerLonger)
+	eager.Predictor = predict.FixedHorizon{Horizon: 1e12}
+	resEager, err := Run(eager, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resEager.Migrations < resBase.Migrations {
+		t.Errorf("eager predictor migrated %d times, fewer than 2x rule's %d",
+			resEager.Migrations, resBase.Migrations)
+	}
+}
+
+// The learning predictor must run end-to-end and record episodes.
+func TestEmpiricalPredictorRuns(t *testing.T) {
+	corpus := testCorpus(t, 6, 1, 35)
+	cfg := smallConfig(core.LingerLonger)
+	emp := &predict.Empirical{MinSamples: 5}
+	cfg.Predictor = emp
+	res, err := Run(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete != 0 {
+		t.Errorf("%d incomplete jobs with empirical predictor", res.Incomplete)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MigrationCost models the cost of moving a foreign job between nodes
+// (§2): fixed per-endpoint processing plus the transfer of the process
+// image over the network.
+//
+//	Tmigr = Processing(source) + size/bandwidth + Processing(destination)
+type MigrationCost struct {
+	SourceProcessing float64 // seconds of process-related work at the source
+	DestProcessing   float64 // seconds of process-related work at the destination
+	BandwidthMbps    float64 // effective transfer bandwidth, megabits/second
+}
+
+// DefaultMigrationCost returns the paper's experimental setting: a 10 Mbps
+// Ethernet throttled to an effective 3 Mbps (to bound the load migration
+// places on the network), with half a second of processing at each end.
+func DefaultMigrationCost() MigrationCost {
+	return MigrationCost{
+		SourceProcessing: 0.5,
+		DestProcessing:   0.5,
+		BandwidthMbps:    3,
+	}
+}
+
+// Time returns the migration cost in seconds for a process image of jobMB
+// megabytes. It panics on a non-positive bandwidth or negative size.
+func (m MigrationCost) Time(jobMB float64) float64 {
+	if m.BandwidthMbps <= 0 {
+		panic(fmt.Sprintf("core: non-positive migration bandwidth %g", m.BandwidthMbps))
+	}
+	if jobMB < 0 {
+		panic(fmt.Sprintf("core: negative job size %g", jobMB))
+	}
+	transfer := jobMB * 8 / m.BandwidthMbps // MB -> Mbit, over Mbps
+	return m.SourceProcessing + transfer + m.DestProcessing
+}
+
+// LingerDuration returns the paper's linger duration
+//
+//	Tlingr = ((1 - l) / (h - l)) * Tmigr
+//
+// for a job on a node with local utilization h considering a destination
+// with utilization l and a migration cost of tmigr seconds. When the
+// destination is no better than the source (h <= l) migration can never
+// pay off and the duration is +Inf. Inputs outside [0, 1] for the
+// utilizations or a negative tmigr panic.
+func LingerDuration(h, l, tmigr float64) float64 {
+	checkUtil("h", h)
+	checkUtil("l", l)
+	if tmigr < 0 {
+		panic(fmt.Sprintf("core: negative migration cost %g", tmigr))
+	}
+	if h <= l {
+		return math.Inf(1)
+	}
+	return (1 - l) / (h - l) * tmigr
+}
+
+// MigrationBeneficial reports whether migrating after lingering tlingr
+// seconds pays off for a non-idle episode of total length tnidle:
+//
+//	Tnidle >= Tlingr + ((1 - l) / (h - l)) * Tmigr
+//
+// It is the closed form of equating foreign-job CPU across the two Figure
+// 1 timelines, and is exposed primarily for analysis and tests; the
+// scheduler itself uses LingerDuration with the 2x episode-age predictor.
+func MigrationBeneficial(tnidle, tlingr, h, l, tmigr float64) bool {
+	checkUtil("h", h)
+	checkUtil("l", l)
+	if h <= l {
+		return false
+	}
+	return tnidle >= tlingr+(1-l)/(h-l)*tmigr
+}
+
+// PredictEpisodeLength applies the median-remaining-lifetime heuristic to
+// a non-idle episode: an episode that has lasted age seconds is predicted
+// to last 2*age in total.
+func PredictEpisodeLength(age float64) float64 {
+	if age < 0 {
+		panic(fmt.Sprintf("core: negative episode age %g", age))
+	}
+	return 2 * age
+}
+
+func checkUtil(name string, v float64) {
+	if v < 0 || v > 1 || math.IsNaN(v) {
+		panic(fmt.Sprintf("core: utilization %s=%g out of [0,1]", name, v))
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+// Decider makes migration decisions for foreign jobs on non-idle nodes.
+// The zero value uses a zero migration cost; construct with a real
+// MigrationCost for meaningful decisions.
+type Decider struct {
+	Cost MigrationCost
+}
+
+// ShouldMigrate reports whether a foreign job of jobMB megabytes that has
+// lingered for age seconds into a non-idle episode with average local
+// utilization h should migrate to an idle candidate node with utilization
+// l under policy p.
+//
+//   - LF never migrates.
+//   - IE migrates immediately.
+//   - LL migrates once age reaches the cost-model linger duration — by the
+//     2x-age predictor, the point where the predicted episode length makes
+//     migration beneficial.
+//   - PM is time-driven (fixed pause), which the cluster scheduler handles
+//     with a timer; once the pause has expired ShouldMigrate returns true.
+func (d Decider) ShouldMigrate(p Policy, age, h, l, jobMB float64) bool {
+	switch p {
+	case LingerForever:
+		return false
+	case ImmediateEviction, PauseAndMigrate:
+		return true
+	case LingerLonger:
+		return age >= LingerDuration(h, l, d.Cost.Time(jobMB))
+	default:
+		panic("core: unknown policy " + p.String())
+	}
+}
+
+// LingerDeadline returns the linger duration for a job of jobMB megabytes
+// on a node at utilization h with a best candidate destination at
+// utilization l (possibly +Inf when migration can never pay off).
+func (d Decider) LingerDeadline(h, l, jobMB float64) float64 {
+	return LingerDuration(h, l, d.Cost.Time(jobMB))
+}

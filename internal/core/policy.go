@@ -1,0 +1,86 @@
+// Package core implements the paper's primary contribution: the
+// Linger-Longer family of cycle-stealing scheduling policies and the cost
+// model that decides how long a foreign job should linger on a newly-busy
+// node before migrating (§2).
+//
+// The model compares two timelines of a non-idle episode — staying put at
+// low priority versus migrating after a linger interval — and equates the
+// foreign CPU work done in each. With h the local utilization of the busy
+// node, l the utilization of the candidate idle node, and Tmigr the
+// migration cost, migration pays off only if the episode lasts at least
+//
+//	Tnidle >= Tlingr + ((1 - l) / (h - l)) * Tmigr
+//
+// Because the episode's remaining length is unknown, the paper applies the
+// median-remaining-lifetime observation of Harchol-Balter & Downey and
+// Leland & Ott — a process that has run for T is expected to run for 2T in
+// total — to the episode: substituting Tnidle = 2*Tlingr yields the linger
+// duration
+//
+//	Tlingr = ((1 - l) / (h - l)) * Tmigr
+//
+// after which a still-busy node should give the job up.
+package core
+
+import "fmt"
+
+// Policy selects a foreign-job scheduling discipline for a shared cluster.
+type Policy int
+
+const (
+	// LingerLonger (LL) keeps the foreign job running at low priority when
+	// the owner returns, migrating only after the cost-model linger
+	// duration expires and an idle node is available.
+	LingerLonger Policy = iota
+	// LingerForever (LF) never migrates: the job stays on its node for
+	// better or worse, maximizing cluster throughput at the expense of the
+	// response time of jobs stuck on busy nodes.
+	LingerForever
+	// ImmediateEviction (IE) migrates the foreign job as soon as the node
+	// becomes non-idle — the classic Condor/NOW social contract.
+	ImmediateEviction
+	// PauseAndMigrate (PM) suspends the foreign job in place for a fixed
+	// interval when the node becomes non-idle, hoping the owner leaves
+	// again, and migrates only when the pause expires.
+	PauseAndMigrate
+)
+
+// Policies lists all four disciplines in the paper's presentation order.
+var Policies = []Policy{LingerLonger, LingerForever, ImmediateEviction, PauseAndMigrate}
+
+// String returns the paper's abbreviation for the policy.
+func (p Policy) String() string {
+	switch p {
+	case LingerLonger:
+		return "LL"
+	case LingerForever:
+		return "LF"
+	case ImmediateEviction:
+		return "IE"
+	case PauseAndMigrate:
+		return "PM"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Lingers reports whether the policy allows foreign jobs to keep running
+// on non-idle nodes.
+func (p Policy) Lingers() bool { return p == LingerLonger || p == LingerForever }
+
+// ParsePolicy converts an abbreviation ("LL", "LF", "IE", "PM", case
+// insensitive) into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "LL", "ll":
+		return LingerLonger, nil
+	case "LF", "lf":
+		return LingerForever, nil
+	case "IE", "ie":
+		return ImmediateEviction, nil
+	case "PM", "pm":
+		return PauseAndMigrate, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q (want LL, LF, IE, or PM)", s)
+	}
+}

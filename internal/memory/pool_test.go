@@ -1,0 +1,197 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPoolSizes(t *testing.T) {
+	p := NewPool(64, 4)
+	if got := p.TotalPages(); got != 16384 {
+		t.Errorf("TotalPages() = %d, want 16384", got)
+	}
+	if got := p.FreePages(); got != 16384 {
+		t.Errorf("FreePages() = %d, want all free", got)
+	}
+}
+
+func TestNewPoolPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPool(0, 4) },
+		func() { NewPool(64, 0) },
+		func() { NewPool(0.001, 4096) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad pool construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPagesForMB(t *testing.T) {
+	p := NewPool(64, 4)
+	if got := p.PagesForMB(8); got != 2048 {
+		t.Errorf("PagesForMB(8) = %d, want 2048", got)
+	}
+	// Rounds up.
+	if got := p.PagesForMB(0.001); got != 1 {
+		t.Errorf("PagesForMB(0.001) = %d, want 1", got)
+	}
+	if got := p.PagesForMB(0); got != 0 {
+		t.Errorf("PagesForMB(0) = %d, want 0", got)
+	}
+}
+
+func TestForeignOnlyUsesFreeList(t *testing.T) {
+	p := NewPool(1, 4) // 256 pages
+	p.RequestLocal(200)
+	granted := p.RequestForeign(100)
+	if granted != 56 {
+		t.Errorf("foreign granted %d pages, want 56 (free list only)", granted)
+	}
+	if p.ForeignDenied() != 44 {
+		t.Errorf("ForeignDenied() = %d, want 44", p.ForeignDenied())
+	}
+	if p.LocalPages() != 200 {
+		t.Errorf("local pages disturbed: %d", p.LocalPages())
+	}
+}
+
+func TestLocalReclaimsFromForeign(t *testing.T) {
+	p := NewPool(1, 4) // 256 pages
+	p.RequestForeign(100)
+	granted, reclaimed := p.RequestLocal(200)
+	if granted != 200 {
+		t.Errorf("local granted %d, want 200", granted)
+	}
+	if reclaimed != 44 {
+		t.Errorf("reclaimed %d from foreign, want 44 (200 - 156 free)", reclaimed)
+	}
+	if p.ForeignPages() != 56 {
+		t.Errorf("foreign pages = %d, want 56", p.ForeignPages())
+	}
+	if p.LocalPageouts() != 0 {
+		t.Errorf("local pageouts = %d, want 0 (foreign absorbed the pressure)", p.LocalPageouts())
+	}
+}
+
+func TestLocalPageoutOnlyWhenForeignExhausted(t *testing.T) {
+	p := NewPool(1, 4) // 256 pages
+	p.RequestForeign(50)
+	p.RequestLocal(300) // exceeds machine: 206 free + 50 foreign + pageout
+	if p.LocalPageouts() != 1 {
+		t.Errorf("local pageouts = %d, want 1", p.LocalPageouts())
+	}
+	if p.ForeignPages() != 0 {
+		t.Errorf("foreign pages = %d, want 0 (all reclaimed first)", p.ForeignPages())
+	}
+	if p.LocalPages() != 256 {
+		t.Errorf("local pages = %d, want full machine", p.LocalPages())
+	}
+}
+
+func TestReleasePaths(t *testing.T) {
+	p := NewPool(1, 4)
+	p.RequestLocal(100)
+	p.RequestForeign(50)
+	p.ReleaseLocal(40)
+	p.ReleaseForeign(10)
+	if p.LocalPages() != 60 || p.ForeignPages() != 40 {
+		t.Errorf("pages = (%d local, %d foreign), want (60, 40)", p.LocalPages(), p.ForeignPages())
+	}
+	if p.FreePages() != 156 {
+		t.Errorf("FreePages() = %d, want 156", p.FreePages())
+	}
+}
+
+func TestReleaseTooManyPanics(t *testing.T) {
+	p := NewPool(1, 4)
+	p.RequestLocal(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	p.ReleaseLocal(11)
+}
+
+func TestSetLocalUsage(t *testing.T) {
+	p := NewPool(1, 4)
+	p.RequestForeign(100)
+	p.SetLocalUsage(200)
+	if p.LocalPages() != 200 {
+		t.Errorf("local pages = %d, want 200", p.LocalPages())
+	}
+	if p.ForeignPages() != 56 {
+		t.Errorf("foreign pages = %d, want 56 after reclaim", p.ForeignPages())
+	}
+	p.SetLocalUsage(50)
+	if p.LocalPages() != 50 {
+		t.Errorf("local pages = %d, want 50 after shrink", p.LocalPages())
+	}
+	if p.FreePages() != 256-50-56 {
+		t.Errorf("FreePages() = %d", p.FreePages())
+	}
+	// Clamp to machine size.
+	p.SetLocalUsage(10000)
+	if p.LocalPages() != 256 {
+		t.Errorf("local pages = %d, want clamped to 256", p.LocalPages())
+	}
+}
+
+func TestCanHost(t *testing.T) {
+	p := NewPool(64, 4)
+	p.SetLocalUsage(p.PagesForMB(58))
+	if p.CanHost(8) {
+		t.Error("CanHost(8MB) with 6MB free should be false")
+	}
+	p.SetLocalUsage(p.PagesForMB(50))
+	if !p.CanHost(8) {
+		t.Error("CanHost(8MB) with 14MB free should be true")
+	}
+}
+
+// Property: pages are conserved and never negative through any operation
+// sequence, and local pageouts occur only when the whole machine is local.
+func TestPoolInvariantsQuick(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Pages uint16
+	}
+	f := func(ops []op) bool {
+		p := NewPool(4, 4) // 1024 pages
+		for _, o := range ops {
+			n := int(o.Pages) % 1200
+			switch o.Kind % 5 {
+			case 0:
+				before := p.LocalPageouts()
+				p.RequestLocal(n)
+				if p.LocalPageouts() > before && p.LocalPages() != p.TotalPages() {
+					return false // paged out while free/foreign pages remained
+				}
+			case 1:
+				p.RequestForeign(n)
+			case 2:
+				p.ReleaseLocal(min(n, p.LocalPages()))
+			case 3:
+				p.ReleaseForeign(min(n, p.ForeignPages()))
+			case 4:
+				p.SetLocalUsage(n)
+			}
+			if p.LocalPages() < 0 || p.ForeignPages() < 0 || p.FreePages() < 0 {
+				return false
+			}
+			if p.LocalPages()+p.ForeignPages()+p.FreePages() != p.TotalPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/workload"
+)
+
+func newTestNode(t *testing.T, cs, util float64, seed int64) *Node {
+	t.Helper()
+	return New(Config{ContextSwitch: cs}, workload.DefaultTable(),
+		workload.ConstantUtilization(util), stats.NewRNG(seed))
+}
+
+func TestServeForeignPureIdleDeliversEverything(t *testing.T) {
+	// On a fully idle node with zero switch cost the foreign job gets all
+	// wall-clock time.
+	n := newTestNode(t, 0, 0, 1)
+	got := n.ServeForeign(math.Inf(1), 100)
+	if math.Abs(got-100) > 1e-6 {
+		t.Errorf("delivered %g CPU on idle node, want 100", got)
+	}
+	if f := n.FCSR(); math.Abs(f-1) > 1e-9 {
+		t.Errorf("FCSR = %g, want 1", f)
+	}
+	if n.LDR() != 0 {
+		t.Errorf("LDR = %g on idle node, want 0", n.LDR())
+	}
+}
+
+func TestServeForeignPureBusyStarves(t *testing.T) {
+	n := newTestNode(t, 100e-6, 1, 2)
+	got := n.ServeForeign(math.Inf(1), 50)
+	if got != 0 {
+		t.Errorf("delivered %g CPU on fully busy node, want 0 (starvation)", got)
+	}
+	if n.Now() != 50 {
+		t.Errorf("Now() = %g, want 50", n.Now())
+	}
+}
+
+func TestServeForeignDeliveredMatchesAvailability(t *testing.T) {
+	// At utilization u with zero switch cost the foreign job receives
+	// (1-u) of wall-clock time.
+	for _, u := range []float64{0.1, 0.3, 0.5, 0.8} {
+		n := newTestNode(t, 0, u, 3)
+		const T = 3000
+		got := n.ServeForeign(math.Inf(1), T)
+		want := (1 - u) * T
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("u=%g: delivered %g, want ~%g", u, got, want)
+		}
+	}
+}
+
+func TestServeForeignCompletesEarly(t *testing.T) {
+	n := newTestNode(t, 100e-6, 0.2, 4)
+	got := n.ServeForeign(10, 1000)
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("delivered %g, want exactly 10", got)
+	}
+	// Completion should take roughly 10/(1-0.2) = 12.5 s of wall clock.
+	if n.Now() < 10 || n.Now() > 25 {
+		t.Errorf("completion at %g s, want ~12.5", n.Now())
+	}
+}
+
+func TestServeForeignResumable(t *testing.T) {
+	// Serving in two chunks must deliver the same total as one call.
+	a := newTestNode(t, 100e-6, 0.3, 5)
+	oneShot := a.ServeForeign(math.Inf(1), 500)
+
+	b := newTestNode(t, 100e-6, 0.3, 5)
+	part1 := b.ServeForeign(math.Inf(1), 137)
+	part2 := b.ServeForeign(math.Inf(1), 500)
+	if math.Abs(oneShot-(part1+part2)) > 1e-6 {
+		t.Errorf("chunked delivery %g differs from one-shot %g", part1+part2, oneShot)
+	}
+}
+
+func TestLDRMatchesAnalyticModel(t *testing.T) {
+	// Each preempting run burst is delayed by one context switch, so
+	// LDR ~= cs / mean run-burst length.
+	table := workload.DefaultTable()
+	for _, cs := range []float64{100e-6, 500e-6} {
+		u := 0.2
+		n := New(Config{ContextSwitch: cs}, table, workload.ConstantUtilization(u), stats.NewRNG(6))
+		n.ServeForeign(math.Inf(1), 4000)
+		want := cs / table.ParamsAt(u).RunMean
+		if got := n.LDR(); math.Abs(got-want)/want > 0.15 {
+			t.Errorf("cs=%g: LDR = %g, want ~%g", cs, got, want)
+		}
+	}
+}
+
+func TestFCSRAbove90Percent(t *testing.T) {
+	// Paper: "Lingering was able to make productive use of over 90% of the
+	// available processor idle cycles" for all three switch costs.
+	for _, cs := range []float64{100e-6, 300e-6, 500e-6} {
+		for _, u := range []float64{0.1, 0.5, 0.9} {
+			n := newTestNode(t, cs, u, 7)
+			n.ServeForeign(math.Inf(1), 2000)
+			if f := n.FCSR(); f < 0.9 {
+				t.Errorf("cs=%g u=%g: FCSR = %g, want > 0.9", cs, u, f)
+			}
+		}
+	}
+}
+
+func TestLDRHeadlineNumbers(t *testing.T) {
+	// Paper §4.1: at 100 µs the delay is about 1%; at 300 µs it stays
+	// under 5%; at 500 µs it can reach ~8%.
+	table := workload.DefaultTable()
+	maxLDR := func(cs float64) float64 {
+		worst := 0.0
+		for _, u := range []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8} {
+			n := New(Config{ContextSwitch: cs}, table, workload.ConstantUtilization(u), stats.NewRNG(8))
+			n.ServeForeign(math.Inf(1), 2000)
+			if l := n.LDR(); l > worst {
+				worst = l
+			}
+		}
+		return worst
+	}
+	if got := maxLDR(100e-6); got > 0.035 {
+		t.Errorf("max LDR at 100µs = %g, want ~1-2%%", got)
+	}
+	if got := maxLDR(300e-6); got > 0.09 {
+		t.Errorf("max LDR at 300µs = %g, want < ~7%%", got)
+	}
+	if got := maxLDR(500e-6); got > 0.15 || got < 0.03 {
+		t.Errorf("max LDR at 500µs = %g, want ~8-12%%", got)
+	}
+}
+
+func TestAdvanceSkipsWithoutAccounting(t *testing.T) {
+	n := newTestNode(t, 100e-6, 0.5, 9)
+	n.Advance(500)
+	if n.Now() != 500 {
+		t.Errorf("Now() = %g, want 500", n.Now())
+	}
+	if n.FCSR() != 0 || n.LDR() != 0 {
+		t.Error("Advance accrued metrics")
+	}
+	// Serving still works after an advance.
+	got := n.ServeForeign(math.Inf(1), 600)
+	if got <= 0 {
+		t.Error("no CPU delivered after Advance")
+	}
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	n := newTestNode(t, 100e-6, 0.5, 10)
+	n.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards Advance did not panic")
+		}
+	}()
+	n.Advance(5)
+}
+
+func TestServeForeignBadArgsPanics(t *testing.T) {
+	n := newTestNode(t, 100e-6, 0.5, 11)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative demand did not panic")
+			}
+		}()
+		n.ServeForeign(-1, 10)
+	}()
+	n.ServeForeign(1, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("past deadline did not panic")
+			}
+		}()
+		n.ServeForeign(1, 0)
+	}()
+}
+
+func TestResetMetrics(t *testing.T) {
+	n := newTestNode(t, 100e-6, 0.3, 12)
+	n.ServeForeign(math.Inf(1), 100)
+	if n.ForeignCPU() == 0 {
+		t.Fatal("no CPU delivered in setup")
+	}
+	n.ResetMetrics()
+	if n.ForeignCPU() != 0 || n.LDR() != 0 || n.FCSR() != 0 || n.Preemptions() != 0 {
+		t.Error("ResetMetrics left residue")
+	}
+}
+
+func TestFig5ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultFig5Config()
+	cfg.Duration = 500
+	pts := Fig5(workload.DefaultTable(), cfg)
+	if len(pts) != len(cfg.ContextSwitches)*len(cfg.Utilizations) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Larger context-switch cost yields larger delay at the same level.
+	find := func(cs, u float64) Fig5Point {
+		for _, p := range pts {
+			if p.ContextSwitch == cs && math.Abs(p.Utilization-u) < 0.01 {
+				return p
+			}
+		}
+		t.Fatalf("no point at cs=%g u=%g", cs, u)
+		return Fig5Point{}
+	}
+	for _, u := range []float64{0.2, 0.5} {
+		l100 := find(100e-6, u).LDR
+		l500 := find(500e-6, u).LDR
+		if l500 <= l100 {
+			t.Errorf("u=%g: LDR(500µs)=%g not above LDR(100µs)=%g", u, l500, l100)
+		}
+	}
+	for _, p := range pts {
+		if p.Utilization > 0.01 && p.Utilization < 0.95 && p.FCSR < 0.85 {
+			t.Errorf("FCSR at u=%g cs=%g is %g, want > 0.85", p.Utilization, p.ContextSwitch, p.FCSR)
+		}
+		if p.LDR < 0 || p.FCSR < 0 || p.FCSR > 1+1e-9 {
+			t.Errorf("metric out of range: %+v", p)
+		}
+	}
+}

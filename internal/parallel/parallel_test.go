@@ -1,0 +1,245 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"lingerlonger/internal/stats"
+)
+
+func TestBSPConfigValidate(t *testing.T) {
+	if err := DefaultBSPConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	cases := []func(*BSPConfig){
+		func(c *BSPConfig) { c.Procs = 0 },
+		func(c *BSPConfig) { c.ComputePerPhase = 0 },
+		func(c *BSPConfig) { c.Phases = 0 },
+		func(c *BSPConfig) { c.MsgLatency = -1 },
+		func(c *BSPConfig) { c.MsgsPerPhase = -1 },
+		func(c *BSPConfig) { c.ContextSwitch = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultBSPConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunBSPAllIdleMatchesIdeal(t *testing.T) {
+	cfg := DefaultBSPConfig()
+	cfg.Phases = 50
+	got, err := RunBSP(cfg, make([]float64, cfg.Procs), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := cfg.IdealTime()
+	// Idle nodes still pay a tiny switch-in per trace window; within 1%.
+	if got < ideal || got > ideal*1.01 {
+		t.Errorf("all-idle time = %g, want ~ideal %g", got, ideal)
+	}
+}
+
+func TestRunBSPArgumentErrors(t *testing.T) {
+	cfg := DefaultBSPConfig()
+	if _, err := RunBSP(cfg, make([]float64, 3), stats.NewRNG(1)); err == nil {
+		t.Error("wrong utils length accepted")
+	}
+	utils := make([]float64, cfg.Procs)
+	utils[0] = 1.5
+	if _, err := RunBSP(cfg, utils, stats.NewRNG(1)); err == nil {
+		t.Error("out-of-range utilization accepted")
+	}
+}
+
+func TestRunBSPStarvation(t *testing.T) {
+	cfg := DefaultBSPConfig()
+	cfg.Phases = 1
+	utils := make([]float64, cfg.Procs)
+	utils[0] = 1.0 // fully busy node: the process can never run
+	if _, err := RunBSP(cfg, utils, stats.NewRNG(1)); err == nil {
+		t.Error("starved process not reported")
+	}
+}
+
+func TestSlowdownOneBusyNodeTracksUtilization(t *testing.T) {
+	// With one node at utilization u the job slows by roughly 1/(1-u)
+	// (plus barrier variance): the Figure 9 shape.
+	cfg := DefaultBSPConfig()
+	cfg.Phases = 60
+	rng := stats.NewRNG(2)
+	for _, tc := range []struct{ u, lo, hi float64 }{
+		{0.2, 1.1, 1.7},
+		{0.5, 1.7, 2.8},
+		{0.9, 6.0, 14.0},
+	} {
+		sd, err := Slowdown(cfg, utilVector(cfg.Procs, 1, tc.u), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sd < tc.lo || sd > tc.hi {
+			t.Errorf("slowdown at u=%g: %g, want in [%g, %g] (~1/(1-u))", tc.u, sd, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestFig9MonotoneAndAnchored(t *testing.T) {
+	pts, err := Fig9(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("Fig9 points = %d, want 10", len(pts))
+	}
+	if math.Abs(pts[0].Slowdown-1) > 0.05 {
+		t.Errorf("slowdown at u=0 is %g, want ~1", pts[0].Slowdown)
+	}
+	// Paper: slowdown 1.1-1.5 below 40%, large above 50%.
+	for _, p := range pts {
+		if p.Utilization <= 0.4 && p.Utilization > 0 && (p.Slowdown < 1 || p.Slowdown > 1.9) {
+			t.Errorf("slowdown at u=%g is %g, want in (1, ~1.5]", p.Utilization, p.Slowdown)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Slowdown < 5 {
+		t.Errorf("slowdown at u=0.9 is %g, want large (paper: ~10)", last.Slowdown)
+	}
+	// Broadly increasing: each point at least 90% of the previous.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Slowdown < pts[i-1].Slowdown*0.9 {
+			t.Errorf("slowdown dropped at u=%g: %g after %g",
+				pts[i].Utilization, pts[i].Slowdown, pts[i-1].Slowdown)
+		}
+	}
+}
+
+func TestFig10CoarserSyncMeansLessSlowdown(t *testing.T) {
+	pts, err := Fig10(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCount := map[int][]Fig10Point{}
+	for _, p := range pts {
+		byCount[p.NonIdleNodes] = append(byCount[p.NonIdleNodes], p)
+	}
+	for n, series := range byCount {
+		finest, coarsest := series[0], series[len(series)-1]
+		if finest.GranularityMS > coarsest.GranularityMS {
+			t.Fatalf("series %d not ordered by granularity", n)
+		}
+		if finest.Slowdown <= coarsest.Slowdown {
+			t.Errorf("%d non-idle: slowdown at 10ms (%g) not above 10s (%g)",
+				n, finest.Slowdown, coarsest.Slowdown)
+		}
+	}
+	// More non-idle nodes at the same granularity means more slowdown.
+	at := func(n int, g float64) float64 {
+		for _, p := range byCount[n] {
+			if p.GranularityMS == g {
+				return p.Slowdown
+			}
+		}
+		t.Fatalf("missing point n=%d g=%g", n, g)
+		return 0
+	}
+	for _, g := range []float64{100, 1000} {
+		if !(at(1, g) <= at(4, g)+0.05 && at(4, g) <= at(8, g)+0.05) {
+			t.Errorf("slowdown not increasing in non-idle count at g=%gms: 1:%g 4:%g 8:%g",
+				g, at(1, g), at(4, g), at(8, g))
+		}
+	}
+	// Paper: with 4 non-idle nodes at 20%, slowdown stays under ~1.5 at
+	// coarse granularity.
+	if got := at(4, 10000); got > 1.6 {
+		t.Errorf("4 non-idle at 10s granularity: slowdown %g, want < 1.6", got)
+	}
+}
+
+func TestLargestPow2(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 4, 5: 4, 15: 8, 16: 16, 31: 16, 32: 32}
+	for n, want := range cases {
+		if got := largestPow2(n); got != want {
+			t.Errorf("largestPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := largestPow2(-3); got != 0 {
+		t.Errorf("largestPow2(-3) = %d, want 0", got)
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	cfg := DefaultReconfigConfig()
+	pts, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 33 {
+		t.Fatalf("Fig11 points = %d, want 33 (32..0 idle)", len(pts))
+	}
+	byIdle := map[int]Fig11Point{}
+	for _, p := range pts {
+		byIdle[p.IdleNodes] = p
+	}
+
+	// All 32 idle: reconfiguration uses the whole machine and wins or ties.
+	full := byIdle[32]
+	if full.Reconfig > full.LL[32]*1.02 {
+		t.Errorf("full cluster: reconfig %g should be ~= LL-32 %g", full.Reconfig, full.LL[32])
+	}
+
+	// One non-idle node: reconfiguration halves the machine (16 nodes),
+	// while LL-32 lingers on one 20%-busy node — LL-32 must win (the
+	// paper's headline for this figure).
+	p31 := byIdle[31]
+	if p31.LL[32] >= p31.Reconfig {
+		t.Errorf("31 idle: LL-32 (%g) should beat reconfig-16 (%g)", p31.LL[32], p31.Reconfig)
+	}
+
+	// No idle nodes: reconfiguration cannot run at all; lingering still
+	// finishes.
+	p0 := byIdle[0]
+	if !math.IsInf(p0.Reconfig, 1) {
+		t.Errorf("0 idle: reconfig completion = %g, want +Inf", p0.Reconfig)
+	}
+	if math.IsInf(p0.LL[32], 1) || p0.LL[32] <= 0 {
+		t.Errorf("0 idle: LL-32 completion = %g, want finite", p0.LL[32])
+	}
+
+	// With few idle nodes, the smaller linger variants beat LL-32's
+	// full-width lingering... and every completion time is positive.
+	for _, p := range pts {
+		for k, v := range p.LL {
+			if v <= 0 {
+				t.Errorf("idle=%d LL-%d completion %g", p.IdleNodes, k, v)
+			}
+		}
+	}
+
+	// Crossover: with many non-idle nodes reconfiguration (on 16 idle)
+	// beats LL-32; find that LL-32 degrades as idle shrinks.
+	if byIdle[16].LL[32] <= byIdle[31].LL[32] {
+		t.Errorf("LL-32 did not degrade from 31 idle (%g) to 16 idle (%g)",
+			byIdle[31].LL[32], byIdle[16].LL[32])
+	}
+}
+
+func TestFig11Deterministic(t *testing.T) {
+	cfg := DefaultReconfigConfig()
+	cfg.ClusterSize = 8
+	cfg.LLSizes = []int{4, 8}
+	a, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Reconfig != b[i].Reconfig || a[i].LL[8] != b[i].LL[8] {
+			t.Fatalf("same seed diverged at point %d", i)
+		}
+	}
+}

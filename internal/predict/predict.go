@@ -1,0 +1,167 @@
+// Package predict implements episode-length predictors for the linger
+// decision (§2 of the paper).
+//
+// When a foreign job lingers on a newly-busy node, the scheduler must
+// guess how much longer the non-idle episode will last: migration pays
+// off only if the predicted remainder exceeds ((1-l)/(h-l))*Tmigr. The
+// paper adopts the median-remaining-lifetime observation of
+// Harchol-Balter & Downey and Leland & Ott — a process (here: an episode)
+// that has lasted T is predicted to last 2T in total, i.e. the remaining
+// life equals the current age. This package provides that predictor plus
+// alternatives used by the ablation benchmarks, and a validation harness
+// that measures how well each predictor fits an empirical episode-length
+// distribution.
+package predict
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Predictor estimates the remaining duration of a non-idle episode given
+// its current age. Implementations may learn from completed episodes via
+// Record.
+type Predictor interface {
+	// PredictRemaining returns the predicted remaining duration, seconds,
+	// of an episode that has already lasted age seconds.
+	PredictRemaining(age float64) float64
+	// Record informs the predictor of a completed episode's total length.
+	Record(length float64)
+}
+
+// MedianLife is the paper's predictor: the remaining life of an episode
+// equals its age (total = 2*age). It is stateless; Record is a no-op.
+type MedianLife struct{}
+
+// PredictRemaining returns age.
+func (MedianLife) PredictRemaining(age float64) float64 {
+	if age < 0 {
+		panic(fmt.Sprintf("predict: negative age %g", age))
+	}
+	return age
+}
+
+// Record is a no-op: the 2x rule does not learn.
+func (MedianLife) Record(float64) {}
+
+// FixedHorizon predicts that every episode lasts exactly Horizon seconds:
+// the remaining life is Horizon - age, floored at zero. It models a
+// scheduler with a static timeout (the spirit of Pause-and-Migrate).
+type FixedHorizon struct {
+	Horizon float64
+}
+
+// PredictRemaining returns max(0, Horizon-age).
+func (f FixedHorizon) PredictRemaining(age float64) float64 {
+	if age < 0 {
+		panic(fmt.Sprintf("predict: negative age %g", age))
+	}
+	if rem := f.Horizon - age; rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// Record is a no-op.
+func (FixedHorizon) Record(float64) {}
+
+// Empirical predicts the median remaining life from the episodes recorded
+// so far: given age a, it returns median{L - a : L > a} over recorded
+// lengths L, falling back to the 2x rule until enough data accumulates.
+// The zero value is ready to use.
+type Empirical struct {
+	lengths []float64
+	sorted  bool
+	// MinSamples is the number of recorded episodes required before the
+	// empirical estimate replaces the 2x fallback (default 20).
+	MinSamples int
+}
+
+// Record adds a completed episode length.
+func (e *Empirical) Record(length float64) {
+	if length < 0 {
+		panic(fmt.Sprintf("predict: negative episode length %g", length))
+	}
+	e.lengths = append(e.lengths, length)
+	e.sorted = false
+}
+
+// N returns the number of recorded episodes.
+func (e *Empirical) N() int { return len(e.lengths) }
+
+// PredictRemaining returns the empirical median remaining life at age.
+func (e *Empirical) PredictRemaining(age float64) float64 {
+	if age < 0 {
+		panic(fmt.Sprintf("predict: negative age %g", age))
+	}
+	min := e.MinSamples
+	if min <= 0 {
+		min = 20
+	}
+	if len(e.lengths) < min {
+		return age // 2x-rule fallback
+	}
+	if !e.sorted {
+		sort.Float64s(e.lengths)
+		e.sorted = true
+	}
+	// Episodes still alive at this age.
+	i := sort.SearchFloat64s(e.lengths, age)
+	alive := e.lengths[i:]
+	if len(alive) == 0 {
+		// Older than anything seen: predict the overall median once more.
+		return e.lengths[len(e.lengths)/2]
+	}
+	return alive[len(alive)/2] - age
+}
+
+// MedianRemaining computes the true median remaining life at each age
+// from a sample of episode lengths — the curve a perfect median predictor
+// would produce. Ages with fewer than 5 surviving episodes are omitted.
+func MedianRemaining(lengths []float64, ages []float64) map[float64]float64 {
+	sorted := make([]float64, len(lengths))
+	copy(sorted, lengths)
+	sort.Float64s(sorted)
+	out := make(map[float64]float64, len(ages))
+	for _, age := range ages {
+		i := sort.SearchFloat64s(sorted, age)
+		alive := sorted[i:]
+		if len(alive) < 5 {
+			continue
+		}
+		out[age] = alive[len(alive)/2] - age
+	}
+	return out
+}
+
+// Evaluate scores a predictor against a sample of episode lengths: for
+// each probe age it compares the prediction with the true median
+// remaining life and returns the mean absolute relative error. Smaller is
+// better; the paper's 2x rule scores well exactly when episode lengths
+// have the heavy-tailed, age-proportional-residual shape Harchol-Balter &
+// Downey observed.
+func Evaluate(p Predictor, lengths []float64, ages []float64) (float64, error) {
+	if len(lengths) == 0 || len(ages) == 0 {
+		return 0, fmt.Errorf("predict: empty evaluation input")
+	}
+	truth := MedianRemaining(lengths, ages)
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("predict: no age had enough surviving episodes")
+	}
+	var sum float64
+	var n int
+	for age, want := range truth {
+		got := p.PredictRemaining(age)
+		denom := want
+		if denom < 1e-9 {
+			denom = 1e-9
+		}
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += diff / denom
+		n++
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,191 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"lingerlonger/internal/memory"
+)
+
+// Agent is one workstation daemon: it executes at most one foreign job at
+// strictly lower priority than the owner's workload and answers the
+// coordinator's tick/assign/revoke/pause requests. Methods are safe for
+// concurrent use (the TCP server invokes them from a connection
+// goroutine).
+type Agent struct {
+	mu sync.Mutex
+
+	name  string
+	owner OwnerSource
+	pool  *memory.Pool
+
+	now    float64
+	job    *Job
+	paused bool
+
+	inEpisode      bool
+	episodeStart   float64
+	episodeUtilSum float64
+	episodeTicks   int
+
+	completed []Job // jobs finished since the last tick report was drained
+}
+
+// NewAgent returns an agent named name whose owner workload comes from
+// owner, on a machine of totalMB megabytes.
+func NewAgent(name string, owner OwnerSource, totalMB float64) *Agent {
+	return &Agent{
+		name:  name,
+		owner: owner,
+		pool:  memory.NewPool(totalMB, 4),
+	}
+}
+
+// Name returns the agent's name.
+func (a *Agent) Name() string { return a.name }
+
+// Now returns the agent's virtual clock.
+func (a *Agent) Now() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.now
+}
+
+// Assign places job on the agent. It fails if the agent already hosts a
+// job or the free list cannot hold the job's image (the priority
+// page-pool admission check).
+func (a *Agent) Assign(j *Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.job != nil {
+		return fmt.Errorf("runtime: agent %s already hosts job %d", a.name, a.job.ID)
+	}
+	// Reflect the owner's current memory demand in the pool, then admit.
+	a.syncPoolLocked()
+	if !a.pool.CanHost(j.SizeMB) {
+		return fmt.Errorf("runtime: agent %s cannot host %g MB (free list %d pages)",
+			a.name, j.SizeMB, a.pool.FreePages())
+	}
+	a.pool.RequestForeign(a.pool.PagesForMB(j.SizeMB))
+	cp := *j
+	a.job = &cp
+	a.paused = false
+	return nil
+}
+
+// Revoke removes and returns the agent's job state (for migration). It
+// fails when no job is hosted or the ID does not match.
+func (a *Agent) Revoke(jobID int) (*Job, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.job == nil || a.job.ID != jobID {
+		return nil, fmt.Errorf("runtime: agent %s does not host job %d", a.name, jobID)
+	}
+	j := a.job
+	a.job = nil
+	a.paused = false
+	a.pool.ReleaseForeign(a.pool.ForeignPages())
+	return j, nil
+}
+
+// Pause suspends or resumes the hosted job in place (Pause-and-Migrate's
+// first stage).
+func (a *Agent) Pause(jobID int, paused bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.job == nil || a.job.ID != jobID {
+		return fmt.Errorf("runtime: agent %s does not host job %d", a.name, jobID)
+	}
+	a.paused = paused
+	return nil
+}
+
+// syncPoolLocked aligns the pool's local working set with the owner's
+// current memory demand. Must hold a.mu.
+func (a *Agent) syncPoolLocked() {
+	total := float64(a.pool.TotalPages()) * 4 / 1024 // MB
+	localMB := total - a.owner.FreeMBAt(a.now)
+	if localMB < 0 {
+		localMB = 0
+	}
+	a.pool.SetLocalUsage(a.pool.PagesForMB(localMB))
+}
+
+// Tick advances the agent dt seconds of virtual time and returns its
+// status. The foreign job runs at strictly lower priority: it accrues
+// (1 - ownerUtil) CPU per second, and nothing while paused.
+func (a *Agent) Tick(dt float64) (AgentStatus, error) {
+	if dt <= 0 {
+		return AgentStatus{}, fmt.Errorf("runtime: non-positive tick %g", dt)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	util := a.owner.UtilizationAt(a.now)
+	idle := a.owner.IdleAt(a.now)
+
+	// Episode accounting: a non-idle episode spans consecutive non-idle
+	// ticks while a job is attached (matching the simulator).
+	if a.job != nil && !idle {
+		if !a.inEpisode {
+			a.inEpisode = true
+			a.episodeStart = a.now
+			a.episodeUtilSum = 0
+			a.episodeTicks = 0
+		}
+		a.episodeUtilSum += util
+		a.episodeTicks++
+	} else {
+		a.inEpisode = false
+	}
+
+	if a.job != nil && !a.paused {
+		a.job.Progress += dt * (1 - util)
+	}
+	a.now += dt
+	a.syncPoolLocked()
+
+	st := AgentStatus{
+		Name:   a.name,
+		Idle:   idle,
+		Util:   util,
+		FreeMB: float64(a.pool.FreePages()) * 4 / 1024,
+		JobID:  -1,
+	}
+	if a.inEpisode {
+		st.EpisodeAge = a.now - a.episodeStart
+		st.EpisodeUtil = a.episodeUtilSum / float64(a.episodeTicks)
+	}
+	if a.job != nil {
+		st.JobID = a.job.ID
+		st.JobProgress = a.job.Progress
+		if a.job.Done() {
+			st.JobDone = true
+			a.completed = append(a.completed, *a.job)
+			a.job = nil
+			a.paused = false
+			a.inEpisode = false
+			a.pool.ReleaseForeign(a.pool.ForeignPages())
+		}
+	}
+	return st, nil
+}
+
+// DrainCompleted returns and clears the jobs finished since the last call.
+func (a *Agent) DrainCompleted() []Job {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.completed
+	a.completed = nil
+	return out
+}
+
+// HasJob reports whether the agent currently hosts a job.
+func (a *Agent) HasJob() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.job != nil
+}

@@ -1,0 +1,396 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/predict"
+)
+
+// AgentClient is the coordinator's handle to one workstation agent. The
+// in-process implementation wraps *Agent directly; the TCP implementation
+// speaks the gob protocol of transport.go. All calls are synchronous, so
+// the coordinator's step loop is deterministic over either transport.
+type AgentClient interface {
+	Name() string
+	Tick(dt float64) (AgentStatus, error)
+	Assign(j *Job) error
+	Revoke(jobID int) (*Job, error)
+	Pause(jobID int, paused bool) error
+	Close() error
+}
+
+// LocalClient adapts an in-process *Agent to the AgentClient interface.
+type LocalClient struct{ Agent *Agent }
+
+// Name returns the agent name.
+func (c LocalClient) Name() string { return c.Agent.Name() }
+
+// Tick advances the agent.
+func (c LocalClient) Tick(dt float64) (AgentStatus, error) { return c.Agent.Tick(dt) }
+
+// Assign places a job.
+func (c LocalClient) Assign(j *Job) error { return c.Agent.Assign(j) }
+
+// Revoke removes a job.
+func (c LocalClient) Revoke(jobID int) (*Job, error) { return c.Agent.Revoke(jobID) }
+
+// Pause suspends or resumes a job.
+func (c LocalClient) Pause(jobID int, paused bool) error { return c.Agent.Pause(jobID, paused) }
+
+// Close is a no-op for in-process agents.
+func (c LocalClient) Close() error { return nil }
+
+// CoordinatorConfig parameterizes the scheduling daemon.
+type CoordinatorConfig struct {
+	Policy    core.Policy
+	Migration core.MigrationCost
+	PauseTime float64           // PM suspend interval, seconds
+	Predictor predict.Predictor // nil selects the paper's 2x-age rule
+}
+
+// DefaultCoordinatorConfig returns LL with the paper's migration cost.
+func DefaultCoordinatorConfig() CoordinatorConfig {
+	return CoordinatorConfig{
+		Policy:    core.LingerLonger,
+		Migration: core.DefaultMigrationCost(),
+		PauseTime: 30,
+	}
+}
+
+// CompletedJob records one finished job.
+type CompletedJob struct {
+	Job         Job
+	CompletedAt float64 // virtual time
+	Agent       string  // agent that finished it
+}
+
+// Coordinator owns the job queue and drives the agents. It is not safe
+// for concurrent use; Step is the single entry point.
+type Coordinator struct {
+	cfg       CoordinatorConfig
+	decider   core.Decider
+	predictor predict.Predictor
+
+	agents []AgentClient
+	status map[string]AgentStatus
+	hosted map[string]int // agent name -> hosted job ID (-1 none)
+	paused map[int]float64
+
+	queue     []*Job
+	migrating []*transfer
+	sizes     map[int]float64 // job ID -> image size, recorded at submission
+	submitted map[int]float64 // job ID -> submission time
+	nextID    int
+	now       float64
+
+	completed  []CompletedJob
+	migrations int
+}
+
+// transfer is a job in flight between agents.
+type transfer struct {
+	job     *Job
+	dest    string
+	arrival float64
+}
+
+// NewCoordinator returns a coordinator over the given agents.
+func NewCoordinator(cfg CoordinatorConfig, agents []AgentClient) (*Coordinator, error) {
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("runtime: no agents")
+	}
+	if cfg.PauseTime < 0 {
+		return nil, fmt.Errorf("runtime: negative pause time %g", cfg.PauseTime)
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = predict.MedianLife{}
+	}
+	seen := map[string]bool{}
+	for _, a := range agents {
+		if seen[a.Name()] {
+			return nil, fmt.Errorf("runtime: duplicate agent name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	return &Coordinator{
+		cfg:       cfg,
+		decider:   core.Decider{Cost: cfg.Migration},
+		predictor: pred,
+		agents:    agents,
+		status:    map[string]AgentStatus{},
+		hosted:    map[string]int{},
+		paused:    map[int]float64{},
+		sizes:     map[int]float64{},
+		submitted: map[int]float64{},
+	}, nil
+}
+
+// Now returns the coordinator's virtual clock.
+func (c *Coordinator) Now() float64 { return c.now }
+
+// Submit enqueues a new foreign job and returns its ID.
+func (c *Coordinator) Submit(demandS, sizeMB float64) (int, error) {
+	j := &Job{ID: c.nextID, DemandS: demandS, SizeMB: sizeMB, SubmittedAt: c.now}
+	if err := j.Validate(); err != nil {
+		return 0, err
+	}
+	c.nextID++
+	c.sizes[j.ID] = j.SizeMB
+	c.submitted[j.ID] = j.SubmittedAt
+	c.queue = append(c.queue, j)
+	return j.ID, nil
+}
+
+// Completed returns the finished-job records so far.
+func (c *Coordinator) Completed() []CompletedJob { return c.completed }
+
+// Migrations returns the number of migrations started.
+func (c *Coordinator) Migrations() int { return c.migrations }
+
+// QueueLen returns the number of jobs waiting for a node.
+func (c *Coordinator) QueueLen() int { return len(c.queue) }
+
+// Step advances the whole system by dt virtual seconds: it ticks every
+// agent, applies the scheduling policy, lands migrations, and places
+// queued jobs.
+func (c *Coordinator) Step(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("runtime: non-positive step %g", dt)
+	}
+	c.now += dt
+
+	// 1. Tick agents and gather status.
+	for _, a := range c.agents {
+		st, err := a.Tick(dt)
+		if err != nil {
+			return fmt.Errorf("runtime: tick %s: %w", a.Name(), err)
+		}
+		c.status[a.Name()] = st
+		if st.JobDone {
+			c.completed = append(c.completed, CompletedJob{
+				Job: Job{
+					ID:          st.JobID,
+					Progress:    st.JobProgress,
+					SizeMB:      c.jobSize(st.JobID),
+					SubmittedAt: c.submitted[st.JobID],
+				},
+				CompletedAt: c.now,
+				Agent:       st.Name,
+			})
+			delete(c.hosted, st.Name)
+			delete(c.paused, st.JobID)
+		} else if st.JobID >= 0 {
+			c.hosted[st.Name] = st.JobID
+		} else {
+			delete(c.hosted, st.Name)
+		}
+	}
+
+	// 2. Land migrations that completed their transfer.
+	c.landMigrations()
+
+	// 3. Policy decisions for hosted jobs on non-idle agents.
+	if err := c.applyPolicy(); err != nil {
+		return err
+	}
+
+	// 4. Place queued jobs.
+	return c.placeQueued()
+}
+
+func (c *Coordinator) agentByName(name string) AgentClient {
+	for _, a := range c.agents {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// reservedDests returns the destinations already claimed by in-flight
+// transfers.
+func (c *Coordinator) reservedDests() map[string]bool {
+	out := map[string]bool{}
+	for _, tr := range c.migrating {
+		out[tr.dest] = true
+	}
+	return out
+}
+
+// findDest picks a destination agent: idle, unoccupied, unreserved, with
+// room for the job; lowest utilization first. With allowNonIdle the
+// search falls back to non-idle agents (linger placement).
+func (c *Coordinator) findDest(j *Job, allowNonIdle bool, exclude string) string {
+	reserved := c.reservedDests()
+	names := make([]string, 0, len(c.agents))
+	for _, a := range c.agents {
+		names = append(names, a.Name())
+	}
+	sort.Strings(names) // deterministic iteration
+	best := ""
+	bestU := 0.0
+	bestIdle := false
+	for _, name := range names {
+		if name == exclude || reserved[name] {
+			continue
+		}
+		if _, busy := c.hosted[name]; busy {
+			continue
+		}
+		st := c.status[name]
+		if st.FreeMB < j.SizeMB {
+			continue
+		}
+		if !st.Idle && !allowNonIdle {
+			continue
+		}
+		better := best == "" ||
+			(st.Idle && !bestIdle) ||
+			(st.Idle == bestIdle && st.Util < bestU)
+		if better {
+			best, bestU, bestIdle = name, st.Util, st.Idle
+		}
+	}
+	return best
+}
+
+// startMigration revokes the job from src and schedules its arrival at
+// dest after the §2 migration cost.
+func (c *Coordinator) startMigration(jobID int, src, dest string) error {
+	j, err := c.agentByName(src).Revoke(jobID)
+	if err != nil {
+		return err
+	}
+	delete(c.hosted, src)
+	delete(c.paused, jobID)
+	c.migrating = append(c.migrating, &transfer{
+		job:     j,
+		dest:    dest,
+		arrival: c.now + c.cfg.Migration.Time(j.SizeMB),
+	})
+	c.migrations++
+	return nil
+}
+
+// landMigrations assigns transfers whose arrival time has passed.
+func (c *Coordinator) landMigrations() {
+	remaining := c.migrating[:0]
+	for _, tr := range c.migrating {
+		if tr.arrival > c.now {
+			remaining = append(remaining, tr)
+			continue
+		}
+		if err := c.agentByName(tr.dest).Assign(tr.job); err != nil {
+			// Destination no longer viable (owner memory surged): requeue.
+			c.queue = append(c.queue, tr.job)
+			continue
+		}
+		c.hosted[tr.dest] = tr.job.ID
+	}
+	c.migrating = remaining
+}
+
+// applyPolicy handles hosted jobs on non-idle agents per the policy.
+func (c *Coordinator) applyPolicy() error {
+	names := make([]string, 0, len(c.hosted))
+	for name := range c.hosted {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		jobID := c.hosted[name]
+		st := c.status[name]
+		if st.Idle {
+			// Owner gone again: resume a paused job in place.
+			if _, isPaused := c.paused[jobID]; isPaused {
+				if err := c.agentByName(name).Pause(jobID, false); err != nil {
+					return err
+				}
+				delete(c.paused, jobID)
+			}
+			continue
+		}
+		switch c.cfg.Policy {
+		case core.ImmediateEviction:
+			if dest := c.findDest(&Job{ID: jobID, SizeMB: c.jobSize(jobID)}, false, name); dest != "" {
+				if err := c.startMigration(jobID, name, dest); err != nil {
+					return err
+				}
+			}
+		case core.PauseAndMigrate:
+			since, isPaused := c.paused[jobID]
+			if !isPaused {
+				if err := c.agentByName(name).Pause(jobID, true); err != nil {
+					return err
+				}
+				c.paused[jobID] = c.now
+				continue
+			}
+			if c.now-since >= c.cfg.PauseTime {
+				if dest := c.findDest(&Job{ID: jobID, SizeMB: c.jobSize(jobID)}, false, name); dest != "" {
+					if err := c.startMigration(jobID, name, dest); err != nil {
+						return err
+					}
+				}
+			}
+		case core.LingerLonger:
+			dest := c.findDest(&Job{ID: jobID, SizeMB: c.jobSize(jobID)}, false, name)
+			if dest == "" {
+				continue
+			}
+			h := st.EpisodeUtil
+			l := c.status[dest].Util
+			if h > 1 {
+				h = 1
+			}
+			if l > 1 {
+				l = 1
+			}
+			remaining := c.predictor.PredictRemaining(st.EpisodeAge)
+			if h > l && remaining >= c.decider.LingerDeadline(h, l, c.jobSize(jobID)) {
+				if err := c.startMigration(jobID, name, dest); err != nil {
+					return err
+				}
+			}
+		case core.LingerForever:
+			// Never migrates.
+		}
+	}
+	return nil
+}
+
+// jobSize returns the image size of a submitted job (recorded at
+// submission), falling back to the paper's 8 MB for unknown IDs.
+func (c *Coordinator) jobSize(jobID int) float64 {
+	if s, ok := c.sizes[jobID]; ok {
+		return s
+	}
+	return 8
+}
+
+// placeQueued assigns queued jobs to free agents (idle first; non-idle
+// fallback under the linger policies).
+func (c *Coordinator) placeQueued() error {
+	if len(c.queue) == 0 {
+		return nil
+	}
+	allowNonIdle := c.cfg.Policy.Lingers()
+	remaining := c.queue[:0]
+	for _, j := range c.queue {
+		dest := c.findDest(j, allowNonIdle, "")
+		if dest == "" {
+			remaining = append(remaining, j)
+			continue
+		}
+		if err := c.agentByName(dest).Assign(j); err != nil {
+			remaining = append(remaining, j)
+			continue
+		}
+		c.hosted[dest] = j.ID
+	}
+	c.queue = remaining
+	return nil
+}

@@ -1,0 +1,202 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The wire protocol: the coordinator holds one TCP connection per agent
+// and exchanges gob-encoded request/response pairs. Calls are strictly
+// sequential per connection, so a TCP-backed cluster behaves identically
+// to an in-process one.
+
+// reqKind enumerates the protocol operations.
+type reqKind int
+
+const (
+	reqTick reqKind = iota
+	reqAssign
+	reqRevoke
+	reqPause
+	reqName
+)
+
+// request is the coordinator-to-agent message.
+type request struct {
+	Kind   reqKind
+	Dt     float64
+	Job    *Job
+	JobID  int
+	Paused bool
+}
+
+// response is the agent-to-coordinator reply.
+type response struct {
+	Status AgentStatus
+	Job    *Job
+	Name   string
+	Err    string
+}
+
+// AgentServer exposes an Agent over a listener. Create with NewAgentServer
+// and stop with Close. Each accepted connection is served by its own
+// goroutine; the underlying Agent is concurrency-safe.
+type AgentServer struct {
+	agent    *Agent
+	listener net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewAgentServer starts serving agent on l.
+func NewAgentServer(agent *Agent, l net.Listener) *AgentServer {
+	s := &AgentServer{agent: agent, listener: l}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *AgentServer) Addr() net.Addr { return s.listener.Addr() }
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *AgentServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *AgentServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve handles one coordinator connection until EOF.
+func (s *AgentServer) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Kind {
+		case reqName:
+			resp.Name = s.agent.Name()
+		case reqTick:
+			st, err := s.agent.Tick(req.Dt)
+			resp.Status = st
+			resp.Err = errString(err)
+		case reqAssign:
+			resp.Err = errString(s.agent.Assign(req.Job))
+		case reqRevoke:
+			j, err := s.agent.Revoke(req.JobID)
+			resp.Job = j
+			resp.Err = errString(err)
+		case reqPause:
+			resp.Err = errString(s.agent.Pause(req.JobID, req.Paused))
+		default:
+			resp.Err = fmt.Sprintf("runtime: unknown request kind %d", req.Kind)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TCPClient is an AgentClient speaking the gob protocol over one TCP
+// connection. Not safe for concurrent use — matching the coordinator's
+// sequential step loop.
+type TCPClient struct {
+	name string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialAgent connects to an AgentServer at addr.
+func DialAgent(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	resp, err := c.call(request{Kind: reqName})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.name = resp.Name
+	return c, nil
+}
+
+func (c *TCPClient) call(req request) (response, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return response{}, fmt.Errorf("runtime: send to %s: %w", c.name, err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("runtime: receive from %s: %w", c.name, err)
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Name returns the remote agent's name.
+func (c *TCPClient) Name() string { return c.name }
+
+// Tick advances the remote agent.
+func (c *TCPClient) Tick(dt float64) (AgentStatus, error) {
+	resp, err := c.call(request{Kind: reqTick, Dt: dt})
+	return resp.Status, err
+}
+
+// Assign places a job on the remote agent.
+func (c *TCPClient) Assign(j *Job) error {
+	_, err := c.call(request{Kind: reqAssign, Job: j})
+	return err
+}
+
+// Revoke removes a job from the remote agent, returning its state.
+func (c *TCPClient) Revoke(jobID int) (*Job, error) {
+	resp, err := c.call(request{Kind: reqRevoke, JobID: jobID})
+	return resp.Job, err
+}
+
+// Pause suspends or resumes the remote job.
+func (c *TCPClient) Pause(jobID int, paused bool) error {
+	_, err := c.call(request{Kind: reqPause, JobID: jobID, Paused: paused})
+	return err
+}
+
+// Close closes the connection.
+func (c *TCPClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"net"
+	"testing"
+
+	"lingerlonger/internal/core"
+)
+
+// startTCPAgents serves n agents on loopback listeners and returns
+// connected clients. Cleanup closes everything.
+func startTCPAgents(t *testing.T, owners []*ScriptedOwner) []AgentClient {
+	t.Helper()
+	clients := make([]AgentClient, len(owners))
+	for i, o := range owners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewAgentServer(NewAgent(agentName(i), o, 64), l)
+		t.Cleanup(func() { srv.Close() })
+		c, err := DialAgent(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+	}
+	return clients
+}
+
+func TestTCPClientBasics(t *testing.T) {
+	clients := startTCPAgents(t, []*ScriptedOwner{quietOwner(t)})
+	c := clients[0]
+	if c.Name() != agentName(0) {
+		t.Errorf("Name() = %q, want %q", c.Name(), agentName(0))
+	}
+	if err := c.Assign(&Job{ID: 1, DemandS: 5, SizeMB: 8}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobID != 1 || st.JobProgress <= 0 {
+		t.Errorf("status = %+v", st)
+	}
+	// Errors propagate across the wire.
+	if err := c.Assign(&Job{ID: 2, DemandS: 5, SizeMB: 8}); err == nil {
+		t.Error("double assign over TCP accepted")
+	}
+	j, err := c.Revoke(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != 1 || j.Progress <= 0 {
+		t.Errorf("revoked job = %+v", j)
+	}
+	if err := c.Pause(1, true); err == nil {
+		t.Error("pausing a revoked job over TCP accepted")
+	}
+}
+
+func TestTCPClusterCompletesJobs(t *testing.T) {
+	clients := startTCPAgents(t, []*ScriptedOwner{
+		busyAfter(t, 30, 0.5), quietOwner(t), quietOwner(t),
+	})
+	coord, err := NewCoordinator(DefaultCoordinatorConfig(), clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := coord.Submit(30, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200 && len(coord.Completed()) < 4; i++ {
+		if err := coord.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(coord.Completed()) != 4 {
+		t.Fatalf("completed %d of 4 jobs over TCP", len(coord.Completed()))
+	}
+}
+
+// The same scenario must produce byte-identical schedules over the
+// in-process and TCP transports: the protocol adds no nondeterminism.
+func TestTransportEquivalence(t *testing.T) {
+	scenario := func(clients []AgentClient) ([]CompletedJob, int, error) {
+		cfg := DefaultCoordinatorConfig()
+		cfg.Policy = core.LingerLonger
+		coord, err := NewCoordinator(cfg, clients)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := coord.Submit(80, 8); err != nil {
+				return nil, 0, err
+			}
+		}
+		for i := 0; i < 400; i++ {
+			if err := coord.Step(1); err != nil {
+				return nil, 0, err
+			}
+		}
+		return coord.Completed(), coord.Migrations(), nil
+	}
+
+	owners := func() []*ScriptedOwner {
+		return []*ScriptedOwner{busyAfter(t, 40, 0.6), quietOwner(t), quietOwner(t)}
+	}
+
+	localClients := make([]AgentClient, 0, 3)
+	for i, o := range owners() {
+		localClients = append(localClients, LocalClient{Agent: NewAgent(agentName(i), o, 64)})
+	}
+	localDone, localMigr, err := scenario(localClients)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tcpDone, tcpMigr, err := scenario(startTCPAgents(t, owners()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if localMigr != tcpMigr {
+		t.Errorf("migrations differ: local %d, tcp %d", localMigr, tcpMigr)
+	}
+	if len(localDone) != len(tcpDone) {
+		t.Fatalf("completions differ: local %d, tcp %d", len(localDone), len(tcpDone))
+	}
+	for i := range localDone {
+		l, r := localDone[i], tcpDone[i]
+		if l.Job.ID != r.Job.ID || l.CompletedAt != r.CompletedAt || l.Agent != r.Agent {
+			t.Errorf("completion %d differs: local %+v, tcp %+v", i, l, r)
+		}
+	}
+}
+
+func TestDialAgentFailsOnDeadAddress(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	if _, err := DialAgent(addr); err == nil {
+		t.Error("dial to a closed listener succeeded")
+	}
+}

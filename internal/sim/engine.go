@@ -1,0 +1,169 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine: a virtual clock and an event heap with stable FIFO ordering for
+// simultaneous events, plus cancellable event handles.
+//
+// All simulators in this repository (single node, sequential cluster,
+// parallel jobs) are built on this engine. Time is measured in seconds as
+// float64; the engine imposes no unit, but every caller in this module uses
+// seconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. The engine passes
+// itself so handlers can schedule follow-up events.
+type Handler func(e *Engine)
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// may be cancelled before they fire.
+type Event struct {
+	time    float64
+	seq     uint64 // tie-break: FIFO among simultaneous events
+	index   int    // heap index, -1 when not queued
+	handler Handler
+}
+
+// Time returns the virtual time at which the event fires (or fired).
+func (ev *Event) Time() float64 { return ev.time }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (ev *Event) Cancelled() bool { return ev.index < 0 }
+
+// Engine is a discrete-event simulator. The zero value is a ready-to-use
+// engine with the clock at 0.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events that have fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues handler to run at absolute virtual time t and returns a
+// cancellable handle. Scheduling in the past (t < Now) panics: it always
+// indicates a simulator bug, and silently clamping would mask it.
+func (e *Engine) Schedule(t float64, handler Handler) *Event {
+	if handler == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %g before now %g", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: Schedule at NaN")
+	}
+	ev := &Event{time: t, seq: e.seq, handler: handler}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues handler to run delay seconds from now. A negative delay
+// panics.
+func (e *Engine) After(delay float64, handler Handler) *Event {
+	return e.Schedule(e.now+delay, handler)
+}
+
+// Cancel removes ev from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers may cancel defensively.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Halt stops the current Run/RunUntil after the in-flight handler returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the next event, advancing the clock, and reports whether an
+// event fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	e.now = ev.time
+	e.fired++
+	ev.handler(e)
+	return true
+}
+
+// Run fires events until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= end, then advances the clock to end.
+// Events scheduled after end remain queued.
+func (e *Engine) RunUntil(end float64) {
+	if end < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%g) before now %g", end, e.now))
+	}
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].time <= end {
+		e.Step()
+	}
+	if !e.halted && e.now < end {
+		e.now = end
+	}
+}
+
+// NextEventTime returns the firing time of the earliest queued event and
+// whether one exists.
+func (e *Engine) NextEventTime() (float64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].time, true
+}
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

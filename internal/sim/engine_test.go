@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(3, func(*Engine) { order = append(order, 3) })
+	e.Schedule(1, func(*Engine) { order = append(order, 1) })
+	e.Schedule(2, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fire order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now() = %g, want 3", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired() = %d, want 3", e.Fired())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var e Engine
+	var at float64
+	e.Schedule(2, func(en *Engine) {
+		en.After(3, func(en2 *Engine) { at = en2.Now() })
+	})
+	e.Run()
+	if at != 5 {
+		t.Errorf("nested After fired at %g, want 5", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.Schedule(1, func(*Engine) { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var e Engine
+	var order []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(float64(i), func(*Engine) { order = append(order, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []float64
+	for _, ts := range []float64{1, 2, 3, 10} {
+		ts := ts
+		e.Schedule(ts, func(en *Engine) { fired = append(fired, en.Now()) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events by t=5, want 3", len(fired))
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() = %g, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.RunUntil(20)
+	if len(fired) != 4 || e.Now() != 20 {
+		t.Errorf("after RunUntil(20): fired=%v now=%g", fired, e.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(float64(i), func(en *Engine) {
+			count++
+			if count == 2 {
+				en.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Errorf("fired %d events, want 2 (halted)", count)
+	}
+	// Run resumes after a halt.
+	e.Run()
+	if count != 5 {
+		t.Errorf("after resume fired %d events, want 5", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func(*Engine) {})
+}
+
+func TestScheduleNilHandlerPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestNextEventTime(t *testing.T) {
+	var e Engine
+	if _, ok := e.NextEventTime(); ok {
+		t.Error("empty engine reported a next event")
+	}
+	e.Schedule(7, func(*Engine) {})
+	if ts, ok := e.NextEventTime(); !ok || ts != 7 {
+		t.Errorf("NextEventTime() = %g, %v", ts, ok)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted time
+// order and the clock never goes backwards.
+func TestFireOrderQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		times := make([]float64, len(raw))
+		var fired []float64
+		for i, r := range raw {
+			times[i] = float64(r) / 10
+			ts := times[i]
+			e.Schedule(ts, func(en *Engine) { fired = append(fired, en.Now()) })
+		}
+		e.Run()
+		sort.Float64s(times)
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution is a positive continuous distribution from which the
+// workload models draw burst lengths.
+type Distribution interface {
+	// Sample draws one variate using rng.
+	Sample(rng *RNG) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// Var returns the distribution variance.
+	Var() float64
+}
+
+// Exponential is an exponential distribution with the given rate (1/mean).
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponentialMean returns an exponential distribution with the given
+// mean. It panics if mean <= 0.
+func NewExponentialMean(mean float64) Exponential {
+	if mean <= 0 {
+		panic(fmt.Sprintf("stats: exponential mean must be positive, got %g", mean))
+	}
+	return Exponential{Rate: 1 / mean}
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(rng *RNG) float64 { return rng.ExpFloat64() / e.Rate }
+
+// Mean returns 1/rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Var returns 1/rate^2.
+func (e Exponential) Var() float64 { return 1 / (e.Rate * e.Rate) }
+
+// CDF returns P(X <= x).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// HyperExp2 is a two-stage hyperexponential distribution: with probability
+// P1 the variate is exponential with rate Rate1, otherwise exponential with
+// rate Rate2. The paper fits run and idle burst durations with this family
+// (coefficient of variation >= 1) using a method-of-moments estimate
+// (Trivedi, "Probability and Statistics with Reliability, Queuing, and
+// Computer Science Applications", p. 479).
+type HyperExp2 struct {
+	P1    float64 // probability of the first branch, in [0, 1]
+	Rate1 float64 // rate of the first branch
+	Rate2 float64 // rate of the second branch
+}
+
+// Sample draws a hyperexponential variate.
+func (h HyperExp2) Sample(rng *RNG) float64 {
+	if rng.Float64() < h.P1 {
+		return rng.ExpFloat64() / h.Rate1
+	}
+	return rng.ExpFloat64() / h.Rate2
+}
+
+// Mean returns p1/rate1 + p2/rate2.
+func (h HyperExp2) Mean() float64 {
+	return h.P1/h.Rate1 + (1-h.P1)/h.Rate2
+}
+
+// Var returns the variance 2*(p1/r1^2 + p2/r2^2) - mean^2.
+func (h HyperExp2) Var() float64 {
+	m := h.Mean()
+	second := 2 * (h.P1/(h.Rate1*h.Rate1) + (1-h.P1)/(h.Rate2*h.Rate2))
+	return second - m*m
+}
+
+// CDF returns P(X <= x).
+func (h HyperExp2) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return h.P1*(1-math.Exp(-h.Rate1*x)) + (1-h.P1)*(1-math.Exp(-h.Rate2*x))
+}
+
+// SquaredCV returns the squared coefficient of variation Var/Mean^2.
+func (h HyperExp2) SquaredCV() float64 {
+	m := h.Mean()
+	return h.Var() / (m * m)
+}
+
+// Deterministic is a degenerate distribution that always returns Value.
+// It is useful in tests and ablations that remove burst variability.
+type Deterministic struct {
+	Value float64
+}
+
+// Sample returns the fixed value.
+func (d Deterministic) Sample(*RNG) float64 { return d.Value }
+
+// Mean returns the fixed value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// Var returns 0.
+func (d Deterministic) Var() float64 { return 0 }
+
+// Uniform is a uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws a uniform variate on [Lo, Hi).
+func (u Uniform) Sample(rng *RNG) float64 { return u.Lo + rng.Float64()*(u.Hi-u.Lo) }
+
+// Mean returns the midpoint.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Var returns (Hi-Lo)^2/12.
+func (u Uniform) Var() float64 { d := u.Hi - u.Lo; return d * d / 12 }

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const sampleN = 200000
+
+// sampleMoments draws n variates and returns their mean and variance.
+func sampleMoments(t *testing.T, d Distribution, n int, seed int64) (mean, variance float64) {
+	t.Helper()
+	rng := NewRNG(seed)
+	var w Welford
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		if x < 0 {
+			t.Fatalf("negative sample %g from %#v", x, d)
+		}
+		w.Add(x)
+	}
+	return w.Mean(), w.Var()
+}
+
+func TestExponentialMoments(t *testing.T) {
+	for _, mean := range []float64{0.001, 0.5, 3.0} {
+		d := NewExponentialMean(mean)
+		if got := d.Mean(); math.Abs(got-mean) > 1e-12 {
+			t.Errorf("Mean() = %g, want %g", got, mean)
+		}
+		if got := d.Var(); math.Abs(got-mean*mean) > 1e-12 {
+			t.Errorf("Var() = %g, want %g", got, mean*mean)
+		}
+		m, v := sampleMoments(t, d, sampleN, 1)
+		if math.Abs(m-mean)/mean > 0.02 {
+			t.Errorf("sample mean %g, want %g", m, mean)
+		}
+		if math.Abs(v-mean*mean)/(mean*mean) > 0.05 {
+			t.Errorf("sample var %g, want %g", v, mean*mean)
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadMean(t *testing.T) {
+	for _, mean := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewExponentialMean(%g) did not panic", mean)
+				}
+			}()
+			NewExponentialMean(mean)
+		}()
+	}
+}
+
+func TestExponentialCDF(t *testing.T) {
+	d := NewExponentialMean(2)
+	if got := d.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %g, want 0", got)
+	}
+	// Median of exp(mean=2) is 2*ln2.
+	median := 2 * math.Ln2
+	if got := d.CDF(median); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(median) = %g, want 0.5", got)
+	}
+}
+
+func TestHyperExp2Moments(t *testing.T) {
+	h := HyperExp2{P1: 0.7, Rate1: 10, Rate2: 2}
+	wantMean := 0.7/10 + 0.3/2
+	if got := h.Mean(); math.Abs(got-wantMean) > 1e-12 {
+		t.Errorf("Mean() = %g, want %g", got, wantMean)
+	}
+	m, v := sampleMoments(t, h, sampleN, 2)
+	if math.Abs(m-wantMean)/wantMean > 0.02 {
+		t.Errorf("sample mean %g, want %g", m, wantMean)
+	}
+	if math.Abs(v-h.Var())/h.Var() > 0.05 {
+		t.Errorf("sample var %g, want %g", v, h.Var())
+	}
+}
+
+func TestHyperExp2CDFMonotone(t *testing.T) {
+	h := HyperExp2{P1: 0.6, Rate1: 50, Rate2: 5}
+	prev := 0.0
+	for x := 0.0; x < 2; x += 0.01 {
+		c := h.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %g: %g < %g", x, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range at %g: %g", x, c)
+		}
+		prev = c
+	}
+	if got := h.CDF(1e9); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF(inf) = %g, want 1", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 42}
+	rng := NewRNG(3)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(rng); got != 42 {
+			t.Fatalf("Sample() = %g, want 42", got)
+		}
+	}
+	if d.Mean() != 42 || d.Var() != 0 {
+		t.Errorf("moments = (%g, %g), want (42, 0)", d.Mean(), d.Var())
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	u := Uniform{Lo: 1, Hi: 5}
+	m, v := sampleMoments(t, u, sampleN, 4)
+	if math.Abs(m-3) > 0.02 {
+		t.Errorf("sample mean %g, want 3", m)
+	}
+	wantVar := 16.0 / 12
+	if math.Abs(v-wantVar)/wantVar > 0.05 {
+		t.Errorf("sample var %g, want %g", v, wantVar)
+	}
+}
+
+// Property: hyperexponential samples are always non-negative and the
+// analytic mean matches p1/r1 + p2/r2 for arbitrary valid parameters.
+func TestHyperExp2SampleNonNegativeQuick(t *testing.T) {
+	f := func(p, r1, r2 uint16, seed int64) bool {
+		h := HyperExp2{
+			P1:    float64(p%1000) / 1000.0,
+			Rate1: 0.01 + float64(r1%1000),
+			Rate2: 0.01 + float64(r2%1000),
+		}
+		rng := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			if h.Sample(rng) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(7)
+	a := root.Split()
+	b := root.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("split streams coincide on %d of 1000 draws", same)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	rng := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if rng.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %g", frac)
+	}
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitHyperExp2MatchesMoments(t *testing.T) {
+	cases := []struct{ mean, variance float64 }{
+		{0.01, 0.0002},  // c2 = 2
+		{0.05, 0.005},   // c2 = 2
+		{0.25, 0.09},    // Figure 3 run burst at 100% utilization
+		{0.026, 0.0009}, // Figure 3 idle burst at low utilization
+		{1, 1},          // c2 = 1: degenerates to exponential
+		{3, 45},         // c2 = 5
+	}
+	for _, tc := range cases {
+		h, err := FitHyperExp2(tc.mean, tc.variance)
+		if err != nil {
+			t.Fatalf("FitHyperExp2(%g, %g): %v", tc.mean, tc.variance, err)
+		}
+		if got := h.Mean(); math.Abs(got-tc.mean)/tc.mean > 1e-9 {
+			t.Errorf("fit(%g, %g).Mean() = %g", tc.mean, tc.variance, got)
+		}
+		wantVar := tc.variance
+		if wantVar < tc.mean*tc.mean {
+			wantVar = tc.mean * tc.mean // clamped to exponential
+		}
+		if got := h.Var(); math.Abs(got-wantVar)/wantVar > 1e-9 {
+			t.Errorf("fit(%g, %g).Var() = %g, want %g", tc.mean, tc.variance, got, wantVar)
+		}
+		if h.P1 < 0 || h.P1 > 1 {
+			t.Errorf("fit(%g, %g).P1 = %g out of range", tc.mean, tc.variance, h.P1)
+		}
+		if h.Rate1 <= 0 || h.Rate2 <= 0 {
+			t.Errorf("fit(%g, %g) has non-positive rate: %+v", tc.mean, tc.variance, h)
+		}
+	}
+}
+
+func TestFitHyperExp2ClampsLowCV(t *testing.T) {
+	// Variance below mean^2 (CV < 1) is clamped to an exponential fit.
+	h, err := FitHyperExp2(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Mean()-2) > 1e-9 {
+		t.Errorf("Mean() = %g, want 2", h.Mean())
+	}
+	if math.Abs(h.SquaredCV()-1) > 1e-9 {
+		t.Errorf("SquaredCV() = %g, want 1 (clamped)", h.SquaredCV())
+	}
+}
+
+func TestFitHyperExp2Errors(t *testing.T) {
+	if _, err := FitHyperExp2(0, 1); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := FitHyperExp2(-1, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := FitHyperExp2(1, -1); err == nil {
+		t.Error("negative variance accepted")
+	}
+}
+
+func TestMustFitHyperExp2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFitHyperExp2 did not panic on bad input")
+		}
+	}()
+	MustFitHyperExp2(-1, 1)
+}
+
+// Property: for any positive mean and CV^2 >= 1 the fit reproduces both
+// moments to within floating-point tolerance.
+func TestFitHyperExp2MomentsQuick(t *testing.T) {
+	f := func(mRaw, cRaw uint32) bool {
+		mean := 1e-4 + float64(mRaw%10000)/100.0 // (0, 100]
+		c2 := 1 + float64(cRaw%900)/100.0        // [1, 10)
+		variance := c2 * mean * mean
+		h, err := FitHyperExp2(mean, variance)
+		if err != nil {
+			return false
+		}
+		return math.Abs(h.Mean()-mean)/mean < 1e-6 &&
+			math.Abs(h.Var()-variance)/variance < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The fitted distribution should reproduce the empirical CDF closely: this
+// is the Figure 2 claim ("the curves almost exactly match").
+func TestFitHyperExp2KSDistance(t *testing.T) {
+	// A balanced-means truth (p1/r1 == p2/r2) is inside the family the
+	// moment fit searches, so refitting from sample moments should recover
+	// the distribution almost exactly — the Figure 2 "curves almost
+	// exactly match" behaviour.
+	truth := MustFitHyperExp2(0.05, 3*0.05*0.05) // mean 0.05, CV^2 = 3
+	rng := NewRNG(5)
+	xs := make([]float64, 20000)
+	var w Welford
+	for i := range xs {
+		xs[i] = truth.Sample(rng)
+		w.Add(xs[i])
+	}
+	fit, err := FitHyperExp2(w.Mean(), w.Var())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewECDF(xs)
+	if ks := e.MaxAbsDiff(fit.CDF); ks > 0.03 {
+		t.Errorf("KS distance between empirical CDF and moment fit = %g, want < 0.03", ks)
+	}
+
+	// For a truth outside the balanced subfamily the fit still matches both
+	// moments, so the CDFs remain close even though not identical.
+	skewed := HyperExp2{P1: 0.8, Rate1: 100, Rate2: 10}
+	var w2 Welford
+	xs2 := make([]float64, 20000)
+	for i := range xs2 {
+		xs2[i] = skewed.Sample(rng)
+		w2.Add(xs2[i])
+	}
+	fit2, err := FitHyperExp2(w2.Mean(), w2.Var())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := NewECDF(xs2).MaxAbsDiff(fit2.CDF); ks > 0.15 {
+		t.Errorf("KS distance for skewed truth = %g, want < 0.15", ks)
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total() = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 1 {
+			t.Errorf("Count(%d) = %d, want 1", i, h.Count(i))
+		}
+		if got, want := h.BinCenter(i), float64(i)+0.5; math.Abs(got-want) > 1e-12 {
+			t.Errorf("BinCenter(%d) = %g, want %g", i, got, want)
+		}
+	}
+	if got := h.CumulativeFraction(4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CumulativeFraction(4) = %g, want 0.5", got)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	if h.Count(0) != 1 || h.Count(3) != 1 {
+		t.Errorf("out-of-range samples not clamped: %v %v", h.Count(0), h.Count(3))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad histogram construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	s := h.String()
+	if !strings.Contains(s, "100.0%") {
+		t.Errorf("String() = %q, want a 100%% line", s)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	if e.N() != 4 {
+		t.Errorf("N() = %d", e.N())
+	}
+	if got := e.At(0); got != 0 {
+		t.Errorf("At(0) = %g", got)
+	}
+	if got := e.At(2); got != 0.5 {
+		t.Errorf("At(2) = %g, want 0.5", got)
+	}
+	if got := e.At(10); got != 1 {
+		t.Errorf("At(10) = %g, want 1", got)
+	}
+	if got := e.Quantile(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %g, want 2.5", got)
+	}
+}
+
+func TestECDFAddAfterConstruct(t *testing.T) {
+	e := NewECDF([]float64{3})
+	e.Add(1)
+	e.Add(2)
+	if got := e.At(1.5); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("At(1.5) = %g, want 1/3", got)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	var e ECDF
+	if e.At(1) != 0 || e.Quantile(0.5) != 0 || e.Points(10) != nil {
+		t.Error("empty ECDF should return zero values")
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	pts := e.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("len(Points) = %d", len(pts))
+	}
+	if pts[0][0] != 0 || pts[10][0] != 9 {
+		t.Errorf("point range = [%g, %g], want [0, 9]", pts[0][0], pts[10][0])
+	}
+	prev := -1.0
+	for _, p := range pts {
+		if p[1] < prev {
+			t.Fatalf("ECDF points not monotone: %v", pts)
+		}
+		prev = p[1]
+	}
+}
+
+func TestECDFMaxAbsDiffExactModel(t *testing.T) {
+	// Against its own step function approximated by a dense exponential
+	// sample, the KS distance should be small.
+	d := NewExponentialMean(1)
+	rng := NewRNG(8)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	e := NewECDF(xs)
+	if ks := e.MaxAbsDiff(d.CDF); ks > 0.02 {
+		t.Errorf("KS distance vs true CDF = %g", ks)
+	}
+}
+
+// Property: ECDF.At is monotone and within [0, 1].
+func TestECDFMonotoneQuick(t *testing.T) {
+	f := func(raw []uint16, probesRaw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		e := NewECDF(xs)
+		prevX, prevF := math.Inf(-1), 0.0
+		for _, pr := range probesRaw {
+			x := float64(pr)
+			f := e.At(x)
+			if f < 0 || f > 1 {
+				return false
+			}
+			if x >= prevX && f < prevF {
+				return false
+			}
+			if x >= prevX {
+				prevX, prevF = x, f
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

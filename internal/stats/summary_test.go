@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N() = %d, want %d", w.N(), len(xs))
+	}
+	if got, want := w.Mean(), Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean() = %g, want %g", got, want)
+	}
+	// Direct population variance.
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		sum += (x - m) * (x - m)
+	}
+	want := sum / float64(len(xs))
+	if got := w.Var(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Var() = %g, want %g", got, want)
+	}
+	if got := w.SampleVar(); math.Abs(got-sum/float64(len(xs)-1)) > 1e-12 {
+		t.Errorf("SampleVar() = %g", got)
+	}
+	if w.Min() != 1 || w.Max() != 9 {
+		t.Errorf("Min, Max = %g, %g; want 1, 9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford not zero")
+	}
+	w.Add(7)
+	if w.Mean() != 7 || w.Var() != 0 || w.Min() != 7 || w.Max() != 7 {
+		t.Error("single-sample Welford wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i) // 0..100
+	}
+	s := Summarize(xs)
+	if s.N != 101 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 50 {
+		t.Errorf("Mean = %g", s.Mean)
+	}
+	if s.Min != 0 || s.Max != 100 {
+		t.Errorf("Min, Max = %g, %g", s.Min, s.Max)
+	}
+	if s.P50 != 50 {
+		t.Errorf("P50 = %g", s.P50)
+	}
+	if s.P90 != 90 {
+		t.Errorf("P90 = %g", s.P90)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("Summarize(nil) not zero")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Summarize(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Summarize mutated input: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("Quantile(0) = %g", got)
+	}
+	if got := Quantile(xs, 1); got != 40 {
+		t.Errorf("Quantile(1) = %g", got)
+	}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Errorf("Quantile(0.5) = %g, want 25", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %g", got)
+	}
+	if got := Quantile([]float64{9}, 0.3); got != 9 {
+		t.Errorf("Quantile(single) = %g", got)
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(-0.1) did not panic")
+		}
+	}()
+	Quantile([]float64{1}, -0.1)
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(raw []uint16, q1Raw, q2Raw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		q1 := float64(q1Raw%1001) / 1000
+		q2 := float64(q2Raw%1001) / 1000
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		s := Summarize(xs)
+		return v1 <= v2+1e-9 && v1 >= s.Min-1e-9 && v2 <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

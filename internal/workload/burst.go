@@ -1,0 +1,182 @@
+package workload
+
+import "lingerlonger/internal/stats"
+
+// Generator produces alternating run and idle bursts for a single
+// utilization level. It samples from the hyperexponential fits of the
+// level's parameters, mirroring the paper's simulator input.
+//
+// A Generator is bound to one utilization; the cluster simulator creates a
+// fresh Generator whenever a node's coarse-grain window changes level (see
+// Windowed).
+type Generator struct {
+	params Params
+	run    stats.Distribution
+	idle   stats.Distribution
+	rng    *stats.RNG
+}
+
+// NewGenerator returns a burst generator for utilization u drawn from
+// table, using rng for sampling.
+func NewGenerator(table *Table, u float64, rng *stats.RNG) *Generator {
+	p := table.ParamsAt(u)
+	return &Generator{
+		params: p,
+		run:    fitOrZero(p.RunMean, p.RunVar),
+		idle:   fitOrZero(p.IdleMean, p.IdleVar),
+		rng:    rng,
+	}
+}
+
+// Params returns the parameters the generator samples from.
+func (g *Generator) Params() Params { return g.params }
+
+// NextRun draws the next run-burst duration in seconds (0 when the level is
+// pure idle).
+func (g *Generator) NextRun() float64 { return g.run.Sample(g.rng) }
+
+// NextIdle draws the next idle-burst duration in seconds (0 when the level
+// is pure busy).
+func (g *Generator) NextIdle() float64 { return g.idle.Sample(g.rng) }
+
+// Cycle draws one (run, idle) pair. A long sequence of cycles has expected
+// utilization equal to the generator's level.
+func (g *Generator) Cycle() (run, idle float64) {
+	return g.NextRun(), g.NextIdle()
+}
+
+// UtilizationSource supplies a coarse-grain utilization level for each
+// point in time; the synthetic traces in internal/trace implement it.
+type UtilizationSource interface {
+	// UtilizationAt returns the local CPU utilization in [0, 1] at time t
+	// seconds.
+	UtilizationAt(t float64) float64
+}
+
+// ConstantUtilization is a UtilizationSource with a fixed level.
+type ConstantUtilization float64
+
+// UtilizationAt returns the fixed level.
+func (c ConstantUtilization) UtilizationAt(float64) float64 { return float64(c) }
+
+// Burst is one segment of processor time.
+type Burst struct {
+	Start    float64
+	Duration float64
+	Run      bool // true when local processes occupy the CPU
+}
+
+// End returns Start+Duration.
+func (b Burst) End() float64 { return b.Start + b.Duration }
+
+// Windowed composes a coarse-grain utilization source with the fine-grain
+// burst model: it regenerates burst parameters every window (the paper's
+// two-second granularity) and produces a continuous run/idle sequence.
+// This is the "Local Workload Generator" box of Figure 6.
+//
+// Bursts alternate run/idle continuously across window boundaries. A burst
+// drawn near the end of a window may overrun into the next one; the level
+// changes take effect from the following draw. Burst durations (tens of
+// milliseconds) are small against the window (two seconds), so the overrun
+// bias is negligible.
+type Windowed struct {
+	table      *Table
+	source     UtilizationSource
+	windowSize float64
+	rng        *stats.RNG
+
+	now       float64 // current virtual time within the burst stream
+	windowEnd float64
+	gen       *Generator
+	runNext   bool
+}
+
+// DefaultWindow is the coarse-grain trace granularity, seconds.
+const DefaultWindow = 2.0
+
+// NewWindowed returns a windowed generator starting at time 0. windowSize
+// <= 0 selects DefaultWindow.
+func NewWindowed(table *Table, source UtilizationSource, windowSize float64, rng *stats.RNG) *Windowed {
+	if windowSize <= 0 {
+		windowSize = DefaultWindow
+	}
+	w := &Windowed{
+		table:      table,
+		source:     source,
+		windowSize: windowSize,
+		rng:        rng,
+		runNext:    true,
+	}
+	w.roll()
+	return w
+}
+
+// roll opens the window containing w.now.
+func (w *Windowed) roll() {
+	idx := int(w.now / w.windowSize)
+	w.windowEnd = float64(idx+1) * w.windowSize
+	u := w.source.UtilizationAt(w.now)
+	w.gen = NewGenerator(w.table, u, w.rng)
+}
+
+// Now returns the stream's current virtual time.
+func (w *Windowed) Now() float64 { return w.now }
+
+// SeekTo fast-forwards the stream to time t without generating the
+// intervening bursts; the cluster simulator uses it when a node has no
+// foreign job and its fine-grain activity is irrelevant. Seeking backwards
+// panics.
+func (w *Windowed) SeekTo(t float64) {
+	if t < w.now {
+		panic("workload: SeekTo backwards")
+	}
+	w.now = t
+	w.runNext = true
+	w.roll()
+}
+
+// Utilization returns the level of the current window.
+func (w *Windowed) Utilization() float64 { return w.gen.params.Utilization }
+
+// Next returns the next burst in the stream. Duration is always positive.
+// Pure-idle and pure-busy windows yield a single burst spanning the rest of
+// the window.
+func (w *Windowed) Next() Burst {
+	for {
+		if w.windowEnd-w.now <= 1e-9 {
+			// Snap forward onto an exact boundary, never backwards: a
+			// burst may have overrun the window end.
+			if w.now < w.windowEnd {
+				w.now = w.windowEnd
+			}
+			w.roll()
+		}
+		p := w.gen.params
+		if p.PureIdle() {
+			b := Burst{Start: w.now, Duration: w.windowEnd - w.now, Run: false}
+			w.now = w.windowEnd
+			w.runNext = true
+			return b
+		}
+		if p.PureBusy() {
+			b := Burst{Start: w.now, Duration: w.windowEnd - w.now, Run: true}
+			w.now = w.windowEnd
+			w.runNext = false
+			return b
+		}
+		var d float64
+		run := w.runNext
+		if run {
+			d = w.gen.NextRun()
+		} else {
+			d = w.gen.NextIdle()
+		}
+		w.runNext = !w.runNext
+		if d <= 1e-12 {
+			continue // zero-length draw: skip, keep alternating
+		}
+		b := Burst{Start: w.now, Duration: d, Run: run}
+		w.now += d
+		return b
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import "lingerlonger/internal/stats"
+
+// Fig2Point is one x-position on a Figure 2 CDF plot: the empirical CDF of
+// sampled burst durations against the fitted hyperexponential CDF.
+type Fig2Point struct {
+	Time      float64 // burst duration, seconds
+	Empirical float64 // empirical cumulative frequency
+	Fitted    float64 // hyperexponential model CDF
+}
+
+// Fig2Series is one panel of Figure 2 (one burst kind at one utilization).
+type Fig2Series struct {
+	Utilization float64
+	Run         bool // true for run bursts, false for idle bursts
+	Points      []Fig2Point
+	KSDistance  float64 // max |empirical - fitted|, the "curves match" check
+}
+
+// Fig2 reproduces Figure 2: for each requested utilization level it samples
+// run and idle bursts, builds their empirical CDFs over [0, 0.1] s, and
+// overlays the method-of-moments hyperexponential fit. samples bursts are
+// drawn per series.
+func Fig2(table *Table, utils []float64, samples int, rng *stats.RNG) []Fig2Series {
+	var out []Fig2Series
+	for _, u := range utils {
+		gen := NewGenerator(table, u, rng)
+		p := gen.Params()
+		for _, run := range []bool{true, false} {
+			xs := make([]float64, samples)
+			for i := range xs {
+				if run {
+					xs[i] = gen.NextRun()
+				} else {
+					xs[i] = gen.NextIdle()
+				}
+			}
+			var model stats.Distribution
+			if run {
+				model = fitOrZero(p.RunMean, p.RunVar)
+			} else {
+				model = fitOrZero(p.IdleMean, p.IdleVar)
+			}
+			cdf := func(x float64) float64 {
+				if h, ok := model.(stats.HyperExp2); ok {
+					return h.CDF(x)
+				}
+				if x >= 0 {
+					return 1
+				}
+				return 0
+			}
+			e := stats.NewECDF(xs)
+			series := Fig2Series{Utilization: u, Run: run, KSDistance: e.MaxAbsDiff(cdf)}
+			// Figure 2's x-axis spans 0..0.1 s in 0.01 steps; sample finer.
+			const steps = 50
+			for i := 0; i <= steps; i++ {
+				x := 0.1 * float64(i) / steps
+				series.Points = append(series.Points, Fig2Point{
+					Time:      x,
+					Empirical: e.At(x),
+					Fitted:    cdf(x),
+				})
+			}
+			out = append(out, series)
+		}
+	}
+	return out
+}
+
+// Fig3Row is one utilization level of Figure 3: the four workload parameter
+// curves (run/idle burst mean and variance).
+type Fig3Row struct {
+	Utilization float64
+	RunMean     float64
+	RunVar      float64
+	IdleMean    float64
+	IdleVar     float64
+}
+
+// Fig3 reproduces Figure 3 from the calibration table: the burst parameters
+// as a function of processor utilization, one row per bucket.
+func Fig3(table *Table) []Fig3Row {
+	buckets := table.Buckets()
+	rows := make([]Fig3Row, len(buckets))
+	for i, b := range buckets {
+		rows[i] = Fig3Row{
+			Utilization: b.Utilization,
+			RunMean:     b.RunMean,
+			RunVar:      b.RunVar,
+			IdleMean:    b.IdleMean,
+			IdleVar:     b.IdleVar,
+		}
+	}
+	return rows
+}
+
+// MeasuredUtilization runs the generator at level u for approximately dur
+// seconds of bursts and returns the realized utilization (run time over
+// total time). It is the empirical check that the generator honours its
+// level.
+func MeasuredUtilization(table *Table, u, dur float64, rng *stats.RNG) float64 {
+	w := NewWindowed(table, ConstantUtilization(u), 0, rng)
+	var run, total float64
+	for total < dur {
+		b := w.Next()
+		total += b.Duration
+		if b.Run {
+			run += b.Duration
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return run / total
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTableValidates(t *testing.T) {
+	if err := DefaultTable().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultTableShape(t *testing.T) {
+	table := DefaultTable()
+	buckets := table.Buckets()
+	if len(buckets) != 21 {
+		t.Fatalf("buckets = %d, want 21 (the paper's count)", len(buckets))
+	}
+	// Figure 3 top-left: run burst mean grows monotonically with
+	// utilization, reaching 0.25 s at 100%.
+	prev := -1.0
+	for _, b := range buckets[1:] {
+		if b.RunMean <= prev {
+			t.Fatalf("run mean not increasing at u=%g: %g <= %g", b.Utilization, b.RunMean, prev)
+		}
+		prev = b.RunMean
+	}
+	last := buckets[len(buckets)-1]
+	if math.Abs(last.RunMean-0.25) > 1e-9 {
+		t.Errorf("run mean at 100%% = %g, want 0.25 (Figure 3)", last.RunMean)
+	}
+	if math.Abs(last.RunVar-0.0875) > 0.02 {
+		t.Errorf("run variance at 100%% = %g, want ~0.09 (Figure 3)", last.RunVar)
+	}
+	// Idle burst mean decreases toward 0 at full utilization.
+	for i := 2; i < len(buckets)-1; i++ {
+		if buckets[i].IdleMean >= buckets[i-1].IdleMean {
+			t.Fatalf("idle mean not decreasing at u=%g", buckets[i].Utilization)
+		}
+	}
+	if last.IdleMean != 0 {
+		t.Errorf("idle mean at 100%% = %g, want 0", last.IdleMean)
+	}
+	if buckets[0].RunMean != 0 {
+		t.Errorf("run mean at 0%% = %g, want 0", buckets[0].RunMean)
+	}
+}
+
+func TestParamsAtBucketPoints(t *testing.T) {
+	table := DefaultTable()
+	for _, b := range table.Buckets()[1:20] {
+		p := table.ParamsAt(b.Utilization)
+		if math.Abs(p.RunMean-b.RunMean) > 1e-9 {
+			t.Errorf("ParamsAt(%g).RunMean = %g, want bucket value %g", b.Utilization, p.RunMean, b.RunMean)
+		}
+		if math.Abs(p.IdleMean-b.IdleMean) > 1e-9 {
+			t.Errorf("ParamsAt(%g).IdleMean = %g, want bucket value %g", b.Utilization, p.IdleMean, b.IdleMean)
+		}
+	}
+}
+
+func TestParamsAtUtilizationIdentity(t *testing.T) {
+	table := DefaultTable()
+	for u := 0.02; u < 0.99; u += 0.013 {
+		p := table.ParamsAt(u)
+		implied := p.RunMean / (p.RunMean + p.IdleMean)
+		if math.Abs(implied-u) > 1e-9 {
+			t.Errorf("ParamsAt(%g): implied utilization %g", u, implied)
+		}
+	}
+}
+
+func TestParamsAtExtremes(t *testing.T) {
+	table := DefaultTable()
+	if p := table.ParamsAt(0); !p.PureIdle() {
+		t.Errorf("ParamsAt(0) not pure idle: %+v", p)
+	}
+	if p := table.ParamsAt(1); !p.PureBusy() {
+		t.Errorf("ParamsAt(1) not pure busy: %+v", p)
+	}
+	if p := table.ParamsAt(-0.5); !p.PureIdle() {
+		t.Errorf("ParamsAt(-0.5) not clamped to pure idle: %+v", p)
+	}
+	if p := table.ParamsAt(1.5); !p.PureBusy() {
+		t.Errorf("ParamsAt(1.5) not clamped to pure busy: %+v", p)
+	}
+}
+
+// Property: interpolated parameters are non-negative, have CV^2 >= 1 where
+// defined, and run mean is monotone in u.
+func TestParamsAtQuick(t *testing.T) {
+	table := DefaultTable()
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw%990+5) / 1000 // [0.005, 0.995)
+		b := float64(bRaw%990+5) / 1000
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := table.ParamsAt(a), table.ParamsAt(b)
+		if pa.RunMean < 0 || pa.IdleMean < 0 || pa.RunVar < 0 || pa.IdleVar < 0 {
+			return false
+		}
+		if pa.RunMean > pb.RunMean+1e-12 {
+			return false
+		}
+		if pa.RunMean > 0 && pa.RunVar < pa.RunMean*pa.RunMean*0.999 {
+			return false
+		}
+		if pa.IdleMean > 0 && pa.IdleVar < pa.IdleMean*pa.IdleMean*0.999 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBrokenTables(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Table)
+		wantErr bool
+	}{
+		{"default", func(*Table) {}, false},
+		{"descending", func(tb *Table) { tb.buckets[3].Utilization = 0.9 }, true},
+		{"negative mean", func(tb *Table) { tb.buckets[3].RunMean = -1 }, true},
+		{"identity broken", func(tb *Table) { tb.buckets[10].IdleMean *= 3 }, true},
+		{"low CV", func(tb *Table) { tb.buckets[10].RunVar = 1e-9 }, true},
+	}
+	for _, tc := range cases {
+		tb := DefaultTable()
+		tc.mutate(tb)
+		err := tb.Validate()
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate() = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"lingerlonger/internal/stats"
+)
+
+func TestWithSquaredCV(t *testing.T) {
+	table := DefaultTable().WithSquaredCV(1, 1)
+	if err := table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range table.Buckets() {
+		if b.RunMean > 0 {
+			if cv := b.RunVar / (b.RunMean * b.RunMean); math.Abs(cv-1) > 1e-9 {
+				t.Errorf("u=%g: run CV^2 = %g, want 1", b.Utilization, cv)
+			}
+		}
+		if b.IdleMean > 0 {
+			if cv := b.IdleVar / (b.IdleMean * b.IdleMean); math.Abs(cv-1) > 1e-9 {
+				t.Errorf("u=%g: idle CV^2 = %g, want 1", b.Utilization, cv)
+			}
+		}
+	}
+	// Means unchanged.
+	orig := DefaultTable()
+	for i, b := range table.Buckets() {
+		if b.RunMean != orig.Buckets()[i].RunMean {
+			t.Errorf("WithSquaredCV changed a mean at bucket %d", i)
+		}
+	}
+}
+
+func TestWithSquaredCVDoesNotMutateOriginal(t *testing.T) {
+	orig := DefaultTable()
+	before := orig.Buckets()[10].RunVar
+	orig.WithSquaredCV(3, 3)
+	if orig.Buckets()[10].RunVar != before {
+		t.Error("WithSquaredCV mutated the receiver")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	table := DefaultTable().Scaled(0.5)
+	if err := table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	orig := DefaultTable()
+	for i, b := range table.Buckets() {
+		ob := orig.Buckets()[i]
+		if math.Abs(b.RunMean-0.5*ob.RunMean) > 1e-12 {
+			t.Errorf("bucket %d run mean not halved", i)
+		}
+		if math.Abs(b.RunVar-0.25*ob.RunVar) > 1e-12 {
+			t.Errorf("bucket %d run var not quartered", i)
+		}
+	}
+	// Utilization identity preserved: scaling both means keeps the ratio.
+	gen := MeasuredUtilization(table, 0.3, 2000, stats.NewRNG(9))
+	if math.Abs(gen-0.3) > 0.03 {
+		t.Errorf("scaled table utilization = %g, want 0.3", gen)
+	}
+}
+
+func TestScaledPanicsOnBadFactor(t *testing.T) {
+	for _, f := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Scaled(%g) did not panic", f)
+				}
+			}()
+			DefaultTable().Scaled(f)
+		}()
+	}
+}
+
+func TestSeekTo(t *testing.T) {
+	w := NewWindowed(DefaultTable(), ConstantUtilization(0.3), 2, stats.NewRNG(10))
+	w.SeekTo(101)
+	if w.Now() != 101 {
+		t.Errorf("Now() = %g after SeekTo(101)", w.Now())
+	}
+	b := w.Next()
+	if b.Start < 101 {
+		t.Errorf("burst starts at %g, before the seek point", b.Start)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards SeekTo did not panic")
+		}
+	}()
+	w.SeekTo(50)
+}

@@ -1,0 +1,219 @@
+// Package linger is the public API of this repository: a faithful
+// reproduction of "Linger Longer: Fine-Grain Cycle Stealing for Networks
+// of Workstations" (Ryu & Hollingsworth, SC 1998).
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - the scheduling policies (LingerLonger, LingerForever,
+//     ImmediateEviction, PauseAndMigrate) and the linger-duration cost
+//     model,
+//   - the two-level workload model (fine-grain hyperexponential CPU
+//     bursts composed with coarse-grain workstation traces),
+//   - the single-node strict-priority model and its LDR/FCSR metrics,
+//   - the sequential-job cluster simulator (Figure 7/8 experiments),
+//   - the parallel-job simulator (Figures 9-13).
+//
+// # Quick start
+//
+//	corpus, _ := linger.GenerateTraces(linger.DefaultTraceConfig(), 16, 1, 1)
+//	cfg := linger.Workload1(linger.LingerLonger)
+//	res, _ := linger.RunCluster(cfg, corpus)
+//	fmt.Printf("avg completion %.0fs, local delay %.2f%%\n",
+//	    res.AvgCompletion, 100*res.LocalDelay)
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping from the paper's experiments to this code.
+package linger
+
+import (
+	"lingerlonger/internal/apps"
+	"lingerlonger/internal/cluster"
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/node"
+	"lingerlonger/internal/parallel"
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/trace"
+	"lingerlonger/internal/workload"
+)
+
+// Policy selects a foreign-job scheduling discipline.
+type Policy = core.Policy
+
+// The four policies the paper evaluates.
+const (
+	LingerLonger      = core.LingerLonger
+	LingerForever     = core.LingerForever
+	ImmediateEviction = core.ImmediateEviction
+	PauseAndMigrate   = core.PauseAndMigrate
+)
+
+// Policies lists all four disciplines in the paper's presentation order.
+func Policies() []Policy { return core.Policies }
+
+// ParsePolicy converts "LL", "LF", "IE" or "PM" into a Policy.
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// MigrationCost models process-migration time (fixed endpoint processing
+// plus image transfer).
+type MigrationCost = core.MigrationCost
+
+// DefaultMigrationCost returns the paper's setting (3 Mbps effective).
+func DefaultMigrationCost() MigrationCost { return core.DefaultMigrationCost() }
+
+// LingerDuration returns the cost-model linger duration
+// Tlingr = ((1-l)/(h-l)) * Tmigr (§2 of the paper).
+func LingerDuration(h, l, tmigr float64) float64 { return core.LingerDuration(h, l, tmigr) }
+
+// RNG is the deterministic random source all simulators consume.
+type RNG = stats.RNG
+
+// NewRNG returns a seeded generator; equal seeds reproduce runs exactly.
+func NewRNG(seed int64) *RNG { return stats.NewRNG(seed) }
+
+// TraceConfig parameterizes the synthetic workstation-trace generator
+// (the substitute for the Arpaci trace corpus; see DESIGN.md §2).
+type TraceConfig = trace.Config
+
+// Trace is a coarse-grain workstation trace (2-second samples of CPU,
+// free memory, and keyboard activity).
+type Trace = trace.Trace
+
+// DefaultTraceConfig returns the calibration matching the paper's §3.2
+// statistics and Figure 4.
+func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
+
+// OfficeTraceConfig returns a 9-to-5 office environment (idle capacity
+// concentrated overnight).
+func OfficeTraceConfig() TraceConfig { return trace.OfficeConfig() }
+
+// StudentLabTraceConfig returns a busier round-the-clock lab environment.
+func StudentLabTraceConfig() TraceConfig { return trace.StudentLabConfig() }
+
+// ServerRoomTraceConfig returns unattended machines with batch spikes.
+func ServerRoomTraceConfig() TraceConfig { return trace.ServerRoomConfig() }
+
+// GenerateTraces synthesizes a corpus of machines traces of days days.
+func GenerateTraces(cfg TraceConfig, machines, days int, seed int64) ([]*Trace, error) {
+	cfg.Days = days
+	return trace.GenerateCorpus(cfg, machines, stats.NewRNG(seed))
+}
+
+// WorkloadTable is the fine-grain burst calibration (Figure 3).
+type WorkloadTable = workload.Table
+
+// DefaultWorkloadTable returns the 21-bucket Figure 3 calibration.
+func DefaultWorkloadTable() *WorkloadTable { return workload.DefaultTable() }
+
+// Node is a single workstation running local bursts plus one low-priority
+// foreign job.
+type Node = node.Node
+
+// NodeConfig holds single-node parameters (effective context-switch time).
+type NodeConfig = node.Config
+
+// NewNode builds a node over a constant local utilization level.
+func NewNode(cfg NodeConfig, utilization float64, rng *RNG) *Node {
+	return node.New(cfg, workload.DefaultTable(), workload.ConstantUtilization(utilization), rng)
+}
+
+// ClusterConfig parameterizes a sequential-job cluster simulation.
+type ClusterConfig = cluster.Config
+
+// ClusterResult is the batch-run outcome (Figure 7 metrics + Figure 8
+// breakdown).
+type ClusterResult = cluster.Result
+
+// ThroughputResult is the constant-population throughput outcome.
+type ThroughputResult = cluster.ThroughputResult
+
+// DefaultClusterConfig returns the paper's Workload-1 setting.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// Workload1 returns the paper's heavy workload (128 jobs x 600 CPU-s on 64
+// nodes).
+func Workload1(p Policy) ClusterConfig { return cluster.Workload1(p) }
+
+// Workload2 returns the paper's light workload (16 jobs x 1800 CPU-s).
+func Workload2(p Policy) ClusterConfig { return cluster.Workload2(p) }
+
+// RunCluster simulates a batch workload to completion.
+func RunCluster(cfg ClusterConfig, corpus []*Trace) (*ClusterResult, error) {
+	return cluster.Run(cfg, corpus)
+}
+
+// RunClusterThroughput simulates the constant-population throughput
+// experiment for dur seconds.
+func RunClusterThroughput(cfg ClusterConfig, corpus []*Trace, dur float64) (*ThroughputResult, error) {
+	return cluster.RunThroughput(cfg, corpus, dur)
+}
+
+// ArrivalsConfig parameterizes the open-system extension: Poisson job
+// arrivals instead of a batch (the paper's future-work evaluation).
+type ArrivalsConfig = cluster.ArrivalsConfig
+
+// ArrivalsResult summarizes an open-system run.
+type ArrivalsResult = cluster.ArrivalsResult
+
+// RunArrivals simulates Poisson job arrivals on the cluster and reports
+// response-time statistics.
+func RunArrivals(cfg ArrivalsConfig, corpus []*Trace) (*ArrivalsResult, error) {
+	return cluster.RunArrivals(cfg, corpus)
+}
+
+// BSPConfig describes a bulk-synchronous parallel job.
+type BSPConfig = parallel.BSPConfig
+
+// DefaultBSPConfig returns the paper's synthetic parallel job (8
+// processes, 100 ms synchronization, NEWS messaging).
+func DefaultBSPConfig() BSPConfig { return parallel.DefaultBSPConfig() }
+
+// RunBSP simulates a parallel job whose processes sit on nodes with the
+// given local utilizations and returns the completion time.
+func RunBSP(cfg BSPConfig, utils []float64, rng *RNG) (float64, error) {
+	return parallel.RunBSP(cfg, utils, rng)
+}
+
+// BSPSlowdown returns the job's slowdown versus an all-idle run.
+func BSPSlowdown(cfg BSPConfig, utils []float64, rng *RNG) (float64, error) {
+	return parallel.Slowdown(cfg, utils, rng)
+}
+
+// AppProfile is a shared-memory application model (sor, water, fft).
+type AppProfile = apps.Profile
+
+// Apps returns the paper's three application profiles.
+func Apps() []AppProfile { return apps.Profiles() }
+
+// HybridChoice is the hybrid linger/reconfiguration scheduler's decision
+// (the paper's concluding suggestion, implemented as a sampling policy).
+type HybridChoice = apps.HybridChoice
+
+// TraceStats aggregates the §3.2 availability statistics over a corpus.
+type TraceStats = trace.CorpusStats
+
+// AnalyzeTraces computes availability statistics for a corpus.
+func AnalyzeTraces(ts []*Trace) TraceStats { return trace.Analyze(ts) }
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF = stats.ECDF
+
+// MemoryCDF returns the Figure 4 free-memory distributions over all
+// samples, idle samples, and non-idle samples.
+func MemoryCDF(ts []*Trace) (all, idle, nonIdle *ECDF) { return trace.Fig4(ts) }
+
+// Job is one sequential foreign job with its per-state time accounting.
+type Job = cluster.Job
+
+// JobState is a job's scheduling state (queued, running, lingering,
+// paused, migrating, done).
+type JobState = cluster.State
+
+// The job states, matching the Figure 8 breakdown.
+const (
+	JobQueued    = cluster.Queued
+	JobRunning   = cluster.Running
+	JobLingering = cluster.Lingering
+	JobPaused    = cluster.Paused
+	JobMigrating = cluster.Migrating
+	JobDone      = cluster.Done
+)

@@ -1,0 +1,180 @@
+package linger
+
+import (
+	"math"
+	"testing"
+)
+
+// End-to-end integration through the public facade: generate traces, run
+// all four policies on the heavy workload, and verify the paper's
+// headline orderings.
+func TestEndToEndHeadlines(t *testing.T) {
+	corpus, err := GenerateTraces(DefaultTraceConfig(), 8, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[Policy]*ClusterResult{}
+	throughput := map[Policy]*ThroughputResult{}
+	for _, p := range Policies() {
+		cfg := Workload1(p)
+		cfg.Nodes = 32
+		cfg.NumJobs = 64
+		cfg.JobCPU = 400
+		res, err := RunCluster(cfg, corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[p] = res
+		tp, err := RunClusterThroughput(cfg, corpus, 1800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		throughput[p] = tp
+	}
+
+	// Headline 1: lingering improves throughput substantially (the paper:
+	// 50-60% over Pause-and-Migrate).
+	gain := throughput[LingerLonger].Throughput / throughput[PauseAndMigrate].Throughput
+	if gain < 1.2 || gain > 2.5 {
+		t.Errorf("LL/PM throughput gain = %.2f, want roughly 1.5-1.6", gain)
+	}
+
+	// Headline 2: foreground slowdown is tiny (the paper: 0.5%).
+	if d := results[LingerLonger].LocalDelay; d <= 0 || d > 0.007 {
+		t.Errorf("LL local delay = %.4f, want positive and <= ~0.5%%", d)
+	}
+
+	// Headline 3: average completion improves markedly under load (the
+	// paper: 47-49% faster).
+	if results[LingerLonger].AvgCompletion >= results[ImmediateEviction].AvgCompletion {
+		t.Error("LL did not improve average completion over IE")
+	}
+	if results[LingerForever].AvgCompletion >= results[ImmediateEviction].AvgCompletion {
+		t.Error("LF did not improve average completion over IE")
+	}
+}
+
+func TestFacadeCostModel(t *testing.T) {
+	m := DefaultMigrationCost()
+	tmigr := m.Time(8)
+	if math.Abs(tmigr-(8*8.0/3+1)) > 1e-9 {
+		t.Errorf("Time(8MB) = %g", tmigr)
+	}
+	tl := LingerDuration(0.2, 0, tmigr)
+	if tl <= 0 || math.IsInf(tl, 1) {
+		t.Errorf("LingerDuration = %g", tl)
+	}
+	if _, err := ParsePolicy("LL"); err != nil {
+		t.Error(err)
+	}
+	if len(Policies()) != 4 {
+		t.Error("Policies() should list four disciplines")
+	}
+}
+
+func TestFacadeNodeModel(t *testing.T) {
+	n := NewNode(NodeConfig{ContextSwitch: 100e-6}, 0.2, NewRNG(1))
+	n.ServeForeign(math.Inf(1), 500)
+	if f := n.FCSR(); f < 0.9 {
+		t.Errorf("FCSR = %g, want > 0.9", f)
+	}
+	if l := n.LDR(); l <= 0 || l > 0.05 {
+		t.Errorf("LDR = %g, want ~1%%", l)
+	}
+}
+
+func TestFacadeParallel(t *testing.T) {
+	cfg := DefaultBSPConfig()
+	cfg.Phases = 30
+	utils := make([]float64, cfg.Procs)
+	utils[0] = 0.2
+	sd, err := BSPSlowdown(cfg, utils, NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd < 1 || sd > 2 {
+		t.Errorf("slowdown with one 20%%-busy node = %g, want ~1.25", sd)
+	}
+	if len(Apps()) != 3 {
+		t.Error("Apps() should return sor, water, fft")
+	}
+}
+
+func TestFacadeWorkloadTable(t *testing.T) {
+	tbl := DefaultWorkloadTable()
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := tbl.ParamsAt(0.5)
+	if math.Abs(p.RunMean-0.05) > 0.005 {
+		t.Errorf("run mean at 50%% = %g, want ~0.05 (Figure 3)", p.RunMean)
+	}
+}
+
+func TestFacadeArrivals(t *testing.T) {
+	corpus, err := GenerateTraces(DefaultTraceConfig(), 4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ArrivalsConfig{Cluster: Workload1(LingerLonger), Rate: 0.05, Duration: 600}
+	cfg.Cluster.Nodes = 16
+	cfg.Cluster.JobCPU = 120
+	res, err := RunArrivals(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 || res.Completed != res.Arrived {
+		t.Errorf("arrivals run incomplete: %+v", res)
+	}
+}
+
+func TestFacadeTracePresets(t *testing.T) {
+	for _, cfg := range []TraceConfig{
+		OfficeTraceConfig(), StudentLabTraceConfig(), ServerRoomTraceConfig(),
+	} {
+		corpus, err := GenerateTraces(cfg, 1, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(corpus) != 1 || corpus[0].Duration() != 86400 {
+			t.Errorf("preset corpus malformed")
+		}
+	}
+}
+
+func TestFacadeHybridChoice(t *testing.T) {
+	app := Apps()[0]
+	choice, err := app.PickHybrid([]int{8, 16}, 16, 0.2, NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ HybridChoice = choice
+	if choice.Procs != 16 {
+		t.Errorf("full idle cluster picked %d procs", choice.Procs)
+	}
+}
+
+func TestFacadeMemoryCDF(t *testing.T) {
+	corpus, err := GenerateTraces(DefaultTraceConfig(), 2, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, idle, nonIdle := MemoryCDF(corpus)
+	if all.N() == 0 || idle.N() == 0 || nonIdle.N() == 0 {
+		t.Error("empty memory CDFs")
+	}
+	if all.N() != idle.N()+nonIdle.N() {
+		t.Error("idle + non-idle samples do not partition the corpus")
+	}
+}
+
+func TestFacadeJobStates(t *testing.T) {
+	states := []JobState{JobQueued, JobRunning, JobLingering, JobPaused, JobMigrating, JobDone}
+	seen := map[string]bool{}
+	for _, s := range states {
+		if seen[s.String()] {
+			t.Errorf("duplicate state name %q", s)
+		}
+		seen[s.String()] = true
+	}
+}
