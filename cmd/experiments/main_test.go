@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestQuickReportDeterministicAcrossWorkers is the acceptance check for
+// the parallel sweep runner: a -quick run with one worker and a -quick run
+// with eight workers must produce byte-identical JSON (and identical
+// Markdown bodies) for the same seed. Every sweep point derives its RNG
+// from (seed, index), so the worker count may only change wall-clock.
+func TestQuickReportDeterministicAcrossWorkers(t *testing.T) {
+	type outcome struct {
+		md   string
+		json []byte
+	}
+	runWith := func(workers int) outcome {
+		t.Helper()
+		var md bytes.Buffer
+		rep, err := run(options{Seed: 1, Quick: true, Workers: workers, JSON: true}, &md)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		js, err := marshalReport(rep)
+		if err != nil {
+			t.Fatalf("workers=%d: marshal: %v", workers, err)
+		}
+		return outcome{md: md.String(), json: js}
+	}
+
+	serial := runWith(1)
+	parallel := runWith(8)
+
+	if !bytes.Equal(serial.json, parallel.json) {
+		t.Errorf("JSON differs between -workers 1 and -workers 8:\n%s",
+			firstDiff(string(serial.json), string(parallel.json)))
+	}
+
+	// The Markdown body must match too; only the wall-clock footer may
+	// differ between runs.
+	if stripFooter(serial.md) != stripFooter(parallel.md) {
+		t.Errorf("Markdown body differs between -workers 1 and -workers 8:\n%s",
+			firstDiff(stripFooter(serial.md), stripFooter(parallel.md)))
+	}
+
+	// Sanity on the report itself: all 13 experiments present with data.
+	var rep Report
+	if err := json.Unmarshal(serial.json, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 13 {
+		t.Errorf("report has %d figures, want 13", len(rep.Figures))
+	}
+	for _, f := range rep.Figures {
+		if len(f.Points) == 0 {
+			t.Errorf("figure %q has no points", f.ID)
+		}
+		if f.WallMS != 0 {
+			t.Errorf("figure %q embeds wall-clock without -timing", f.ID)
+		}
+	}
+}
+
+// TestQuickReportSeedSensitivity guards against the opposite failure: if a
+// different seed produced identical results, the determinism test above
+// would be vacuous.
+func TestQuickReportSeedSensitivity(t *testing.T) {
+	rep1, err := run(options{Seed: 1, Quick: true, Workers: 4, JSON: true}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := run(options{Seed: 2, Quick: true, Workers: 4, JSON: true}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := marshalReport(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := marshalReport(rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, b2) {
+		t.Error("seeds 1 and 2 produced identical reports; seed is not reaching the sweeps")
+	}
+}
+
+// stripFooter drops the "Total run time" trailer, the only Markdown line
+// that legitimately varies between two runs of the same configuration.
+func stripFooter(md string) string {
+	if i := strings.LastIndex(md, "\n---\nTotal run time:"); i >= 0 {
+		return md[:i]
+	}
+	return md
+}
+
+// firstDiff renders the first differing region of two strings.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+80, i+80
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return "a: ..." + a[lo:hiA] + "...\nb: ..." + b[lo:hiB] + "..."
+		}
+	}
+	return "(one output is a prefix of the other)"
+}

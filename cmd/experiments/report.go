@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// The JSON report is the machine-readable twin of the Markdown report: the
+// same per-figure points, plus the seed and the result-determining corpus
+// configuration. It exists so benchmark trajectories (BENCH_*.json) can be
+// diffed across PRs.
+//
+// Determinism contract: with timing disabled (the default) the marshalled
+// bytes are a pure function of (seed, quick) — the worker count is
+// deliberately excluded, because it is an execution detail that never
+// affects results. `experiments -quick -json a.json -workers 1` and
+// `-workers 8` write byte-identical files. Wall-clock fields are only
+// embedded when -timing is set, since timing is machine-dependent and
+// would break byte-stable diffs.
+
+// Report is the top-level JSON document written by -json.
+type Report struct {
+	// SchemaVersion increments when the document layout changes shape.
+	SchemaVersion int `json:"schema_version"`
+	// Seed is the master seed every figure's per-run seeds derive from.
+	Seed int64 `json:"seed"`
+	// Config records the result-determining parameters of the run.
+	Config RunConfig `json:"config"`
+	// Figures holds one entry per experiment, in report order.
+	Figures []Figure `json:"figures"`
+	// TotalWallMS is the whole run's wall-clock (with -timing only).
+	TotalWallMS float64 `json:"total_wall_ms,omitempty"`
+}
+
+// RunConfig is the corpus/duration configuration the results depend on.
+type RunConfig struct {
+	Quick         bool    `json:"quick"`
+	Machines      int     `json:"machines"`
+	Days          int     `json:"days"`
+	ThroughputDur float64 `json:"throughput_dur_s"`
+}
+
+// Figure is one experiment's machine-readable results.
+type Figure struct {
+	// ID is a stable short key ("fig9", "sec32", "arrivals", ...).
+	ID string `json:"id"`
+	// Title is the human heading, matching the Markdown section.
+	Title string `json:"title"`
+	// WallMS is the figure's wall-clock in milliseconds (with -timing
+	// only). With parallel figures enabled it measures the whole fan-out.
+	WallMS float64 `json:"wall_ms,omitempty"`
+	// Points is the figure's data; every point is a flat key/value map.
+	// encoding/json sorts map keys, keeping the output byte-stable.
+	Points []Point `json:"points"`
+}
+
+// Point is one data point of a figure. Values are numbers or strings;
+// non-finite floats are encoded via jnum since JSON has no Inf/NaN.
+type Point map[string]any
+
+// jnum converts a float for JSON embedding: +/-Inf and NaN (which
+// encoding/json rejects) become the strings "inf", "-inf" and "nan".
+func jnum(v float64) any {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	default:
+		return v
+	}
+}
+
+// addFigure appends a figure to the report (no-op when JSON output is off).
+func (r *reporter) addFigure(id, title string, points []Point) {
+	if r.report == nil {
+		return
+	}
+	r.report.Figures = append(r.report.Figures, Figure{ID: id, Title: title, Points: points})
+}
+
+// marshalReport renders the report deterministically: two-space indent,
+// trailing newline, map keys sorted by encoding/json.
+func marshalReport(rep *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// writeReport writes the JSON document to path.
+func writeReport(rep *Report, path string) error {
+	b, err := marshalReport(rep)
+	if err != nil {
+		return fmt.Errorf("experiments: marshal JSON report: %w", err)
+	}
+	return os.WriteFile(path, b, 0o644)
+}

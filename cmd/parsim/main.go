@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	parsim [-seed 1] [-fig9] [-fig10] [-fig11] [-fig12] [-fig13]
+//	parsim [-seed 1] [-workers 0] [-fig9] [-fig10] [-fig11] [-fig12] [-fig13]
 //
-// With no flag it runs every figure.
+// With no flag it runs every figure. -workers sizes the sweep worker pool
+// (0 = GOMAXPROCS); results are identical for every worker count because
+// each sweep point derives its own RNG seed from (seed, index).
 package main
 
 import (
@@ -25,18 +27,19 @@ func main() {
 	log.SetPrefix("parsim: ")
 
 	var (
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		fig9  = flag.Bool("fig9", false, "run Figure 9 (slowdown vs utilization)")
-		fig10 = flag.Bool("fig10", false, "run Figure 10 (slowdown vs granularity)")
-		fig11 = flag.Bool("fig11", false, "run Figure 11 (linger vs reconfiguration)")
-		fig12 = flag.Bool("fig12", false, "run Figure 12 (application slowdowns)")
-		fig13 = flag.Bool("fig13", false, "run Figure 13 (applications: linger vs reconfiguration)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		fig9    = flag.Bool("fig9", false, "run Figure 9 (slowdown vs utilization)")
+		fig10   = flag.Bool("fig10", false, "run Figure 10 (slowdown vs granularity)")
+		fig11   = flag.Bool("fig11", false, "run Figure 11 (linger vs reconfiguration)")
+		fig12   = flag.Bool("fig12", false, "run Figure 12 (application slowdowns)")
+		fig13   = flag.Bool("fig13", false, "run Figure 13 (applications: linger vs reconfiguration)")
 	)
 	flag.Parse()
 	all := !*fig9 && !*fig10 && !*fig11 && !*fig12 && !*fig13
 
 	if all || *fig9 {
-		pts, err := parallel.Fig9(*seed)
+		pts, err := parallel.Fig9(*seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +50,7 @@ func main() {
 	}
 
 	if all || *fig10 {
-		pts, err := parallel.Fig10(*seed)
+		pts, err := parallel.Fig10(*seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,6 +72,7 @@ func main() {
 	if all || *fig11 {
 		cfg := parallel.DefaultReconfigConfig()
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		pts, err := parallel.Fig11(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -82,7 +86,7 @@ func main() {
 	}
 
 	if all || *fig12 {
-		pts, err := apps.Fig12(*seed)
+		pts, err := apps.Fig12(*seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -107,6 +111,7 @@ func main() {
 	if all || *fig13 {
 		cfg := apps.DefaultFig13Config()
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		pts, err := apps.Fig13(cfg)
 		if err != nil {
 			log.Fatal(err)

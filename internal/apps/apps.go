@@ -13,6 +13,12 @@
 // more, and fft is the most communication-intensive (and least sensitive),
 // because time spent waiting on the network is not slowed by local jobs.
 // See DESIGN.md §2.
+//
+// The figure drivers (Fig12, Fig13, FigHybrid) sweep these profiles over
+// idle/non-idle node mixes. Each sweep point runs on the internal/exp
+// worker pool with its own RNG derived from (seed, index), so the sweeps
+// parallelize across a Workers-sized pool without changing a single
+// number (DESIGN.md §8).
 package apps
 
 import (

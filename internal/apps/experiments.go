@@ -4,9 +4,15 @@ import (
 	"fmt"
 	"math"
 
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/parallel"
 	"lingerlonger/internal/stats"
 )
+
+// The application sweeps run in two phases on the internal/exp worker
+// pool: first the per-application idle-cluster baselines, then every sweep
+// point, each with an RNG derived from (seed, phase, index). Worker count
+// never changes the results; see the exp package documentation.
 
 // Fig12Point is one bar of Figure 12: the slowdown of an application on an
 // eight-node cluster with the given number of non-idle nodes at the given
@@ -18,42 +24,60 @@ type Fig12Point struct {
 	Slowdown  float64 // versus running on eight idle nodes
 }
 
+// baselines runs each application profile on an all-idle cluster of size
+// procs, in parallel, seeding each run from its own stream of master.
+func baselines(workers int, master int64, procs int) ([]float64, error) {
+	profiles := Profiles()
+	return exp.SeededMap(workers, master, len(profiles), func(i int, rng *stats.RNG) (float64, error) {
+		cfg, err := profiles[i].BSPFor(procs)
+		if err != nil {
+			return 0, err
+		}
+		return parallel.RunBSP(cfg, make([]float64, procs), rng)
+	})
+}
+
 // Fig12 reproduces Figure 12: sor, water and fft on an 8-node cluster with
 // the number of non-idle nodes swept 0..8 and their local utilization at
-// 10, 20, 30 and 40%.
-func Fig12(seed int64) ([]Fig12Point, error) {
+// 10, 20, 30 and 40%. The 108 grid points run on a pool of workers
+// goroutines (<= 0 selects GOMAXPROCS).
+func Fig12(seed int64, workers int) ([]Fig12Point, error) {
 	const procs = 8
-	rng := stats.NewRNG(seed)
-	var out []Fig12Point
-	for _, p := range Profiles() {
+	utils := []float64{0.10, 0.20, 0.30, 0.40}
+	perProfile := len(utils) * (procs + 1)
+	profiles := Profiles()
+
+	base, err := baselines(workers, exp.DeriveSeed(seed, 0), procs)
+	if err != nil {
+		return nil, err
+	}
+	ptsMaster := exp.DeriveSeed(seed, 1)
+	n := len(profiles) * perProfile
+	return exp.SeededMap(workers, ptsMaster, n, func(i int, rng *stats.RNG) (Fig12Point, error) {
+		p := profiles[i/perProfile]
+		rest := i % perProfile
+		lusg := utils[rest/(procs+1)]
+		nonIdle := rest % (procs + 1)
+
 		cfg, err := p.BSPFor(procs)
 		if err != nil {
-			return nil, err
+			return Fig12Point{}, err
 		}
-		base, err := parallel.RunBSP(cfg, make([]float64, procs), rng)
+		uv := make([]float64, procs)
+		for k := 0; k < nonIdle; k++ {
+			uv[k] = lusg
+		}
+		tm, err := parallel.RunBSP(cfg, uv, rng)
 		if err != nil {
-			return nil, err
+			return Fig12Point{}, err
 		}
-		for _, lusg := range []float64{0.10, 0.20, 0.30, 0.40} {
-			for nonIdle := 0; nonIdle <= procs; nonIdle++ {
-				utils := make([]float64, procs)
-				for i := 0; i < nonIdle; i++ {
-					utils[i] = lusg
-				}
-				tm, err := parallel.RunBSP(cfg, utils, rng)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Fig12Point{
-					App:       p.Name,
-					NonIdle:   nonIdle,
-					LocalUtil: lusg,
-					Slowdown:  tm / base,
-				})
-			}
-		}
-	}
-	return out, nil
+		return Fig12Point{
+			App:       p.Name,
+			NonIdle:   nonIdle,
+			LocalUtil: lusg,
+			Slowdown:  tm / base[i/perProfile],
+		}, nil
+	})
 }
 
 // Fig13Point is one x-position of Figure 13: slowdown (versus a fully idle
@@ -77,6 +101,7 @@ type Fig13Config struct {
 	ClusterSize int     // the paper: 16
 	NonIdleUtil float64 // the paper: 0.20
 	Seed        int64
+	Workers     int // sweep worker-pool size; <= 0 selects GOMAXPROCS
 }
 
 // DefaultFig13Config returns the paper's setting.
@@ -84,22 +109,26 @@ func DefaultFig13Config() Fig13Config {
 	return Fig13Config{ClusterSize: 16, NonIdleUtil: 0.20, Seed: 1}
 }
 
-// Fig13 reproduces Figure 13 for all three applications.
+// Fig13 reproduces Figure 13 for all three applications. Each (application,
+// idle count) pair is one task on the exp worker pool; within a task the
+// three strategies share the task's RNG sequentially.
 func Fig13(cfg Fig13Config) ([]Fig13Point, error) {
 	if cfg.ClusterSize <= 0 {
 		return nil, fmt.Errorf("apps: ClusterSize must be positive, got %d", cfg.ClusterSize)
 	}
-	rng := stats.NewRNG(cfg.Seed)
-	var out []Fig13Point
-	for _, p := range Profiles() {
-		full, err := p.BSPFor(cfg.ClusterSize)
-		if err != nil {
-			return nil, err
-		}
-		base, err := parallel.RunBSP(full, make([]float64, cfg.ClusterSize), rng)
-		if err != nil {
-			return nil, err
-		}
+	profiles := Profiles()
+	base, err := baselines(cfg.Workers, exp.DeriveSeed(cfg.Seed, 0), cfg.ClusterSize)
+	if err != nil {
+		return nil, err
+	}
+
+	perProfile := cfg.ClusterSize + 1
+	n := len(profiles) * perProfile
+	ptsMaster := exp.DeriveSeed(cfg.Seed, 1)
+	return exp.SeededMap(cfg.Workers, ptsMaster, n, func(i int, rng *stats.RNG) (Fig13Point, error) {
+		p := profiles[i/perProfile]
+		idle := cfg.ClusterSize - i%perProfile
+		pt := Fig13Point{App: p.Name, IdleNodes: idle}
 
 		runOn := func(procs, nonIdle int) (float64, error) {
 			c, err := p.BSPFor(procs)
@@ -107,53 +136,47 @@ func Fig13(cfg Fig13Config) ([]Fig13Point, error) {
 				return 0, err
 			}
 			utils := make([]float64, procs)
-			for i := 0; i < nonIdle && i < procs; i++ {
-				utils[i] = cfg.NonIdleUtil
+			for k := 0; k < nonIdle && k < procs; k++ {
+				utils[k] = cfg.NonIdleUtil
 			}
 			tm, err := parallel.RunBSP(c, utils, rng)
 			if err != nil {
 				return 0, err
 			}
-			return tm / base, nil
+			return tm / base[i/perProfile], nil
 		}
 
-		for idle := cfg.ClusterSize; idle >= 0; idle-- {
-			pt := Fig13Point{App: p.Name, IdleNodes: idle}
-
-			// Reconfiguration: largest power of two idle nodes.
-			if kr := largestPow2(idle); kr == 0 {
-				pt.Reconfig = math.Inf(1)
-			} else {
-				sd, err := runOn(kr, 0)
-				if err != nil {
-					return nil, err
-				}
-				pt.Reconfig = sd
-			}
-
-			// 16-process lingering.
-			nonIdle16 := cfg.ClusterSize - idle
-			sd, err := runOn(cfg.ClusterSize, nonIdle16)
+		// Reconfiguration: largest power of two idle nodes.
+		if kr := largestPow2(idle); kr == 0 {
+			pt.Reconfig = math.Inf(1)
+		} else {
+			sd, err := runOn(kr, 0)
 			if err != nil {
-				return nil, err
+				return Fig13Point{}, err
 			}
-			pt.LL16 = sd
-
-			// 8-process lingering: idle nodes first.
-			nonIdle8 := 8 - idle
-			if nonIdle8 < 0 {
-				nonIdle8 = 0
-			}
-			sd, err = runOn(8, nonIdle8)
-			if err != nil {
-				return nil, err
-			}
-			pt.LL8 = sd
-
-			out = append(out, pt)
+			pt.Reconfig = sd
 		}
-	}
-	return out, nil
+
+		// 16-process lingering.
+		sd, err := runOn(cfg.ClusterSize, cfg.ClusterSize-idle)
+		if err != nil {
+			return Fig13Point{}, err
+		}
+		pt.LL16 = sd
+
+		// 8-process lingering: idle nodes first.
+		nonIdle8 := 8 - idle
+		if nonIdle8 < 0 {
+			nonIdle8 = 0
+		}
+		sd, err = runOn(8, nonIdle8)
+		if err != nil {
+			return Fig13Point{}, err
+		}
+		pt.LL8 = sd
+
+		return pt, nil
+	})
 }
 
 func largestPow2(n int) int {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/parallel"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/workload"
@@ -123,61 +124,60 @@ type HybridPoint struct {
 
 // FigHybrid evaluates the hybrid scheduler against the Figure 13 fixed
 // strategies: at every idle count it lets PickHybrid choose between 8 and
-// 16 processes and simulates the choice.
+// 16 processes and simulates the choice. Like the other application
+// sweeps, the points run on the exp worker pool with per-point derived
+// seeds (streams 2 and 3 of cfg.Seed; Fig13 consumes streams 0 and 1), so
+// the results are independent of cfg.Workers.
 func FigHybrid(cfg Fig13Config) ([]HybridPoint, error) {
 	fixed, err := Fig13(cfg)
 	if err != nil {
 		return nil, err
 	}
-	rng := stats.NewRNG(cfg.Seed + 1)
-	var out []HybridPoint
-	for _, p := range Profiles() {
-		var base float64
-		{
-			c, err := p.BSPFor(cfg.ClusterSize)
-			if err != nil {
-				return nil, err
-			}
-			base, err = parallel.RunBSP(c, make([]float64, cfg.ClusterSize), rng)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for idle := cfg.ClusterSize; idle >= 0; idle-- {
-			choice, err := p.PickHybrid([]int{8, cfg.ClusterSize}, idle, cfg.NonIdleUtil, rng)
-			if err != nil {
-				return nil, err
-			}
-			c, err := p.BSPFor(choice.Procs)
-			if err != nil {
-				return nil, err
-			}
-			nonIdle := choice.Procs - idle
-			if nonIdle < 0 {
-				nonIdle = 0
-			}
-			utils := make([]float64, choice.Procs)
-			for i := 0; i < nonIdle; i++ {
-				utils[i] = cfg.NonIdleUtil
-			}
-			tm, err := parallel.RunBSP(c, utils, rng)
-			if err != nil {
-				return nil, err
-			}
-			bestFixed := math.Inf(1)
-			for _, f := range fixed {
-				if f.App == p.Name && f.IdleNodes == idle {
-					bestFixed = math.Min(f.LL16, math.Min(f.LL8, f.Reconfig))
-				}
-			}
-			out = append(out, HybridPoint{
-				App:       p.Name,
-				IdleNodes: idle,
-				Procs:     choice.Procs,
-				Slowdown:  tm / base,
-				BestFixed: bestFixed,
-			})
-		}
+	profiles := Profiles()
+	base, err := baselines(cfg.Workers, exp.DeriveSeed(cfg.Seed, 2), cfg.ClusterSize)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+
+	perProfile := cfg.ClusterSize + 1
+	n := len(profiles) * perProfile
+	ptsMaster := exp.DeriveSeed(cfg.Seed, 3)
+	return exp.SeededMap(cfg.Workers, ptsMaster, n, func(i int, rng *stats.RNG) (HybridPoint, error) {
+		p := profiles[i/perProfile]
+		idle := cfg.ClusterSize - i%perProfile
+
+		choice, err := p.PickHybrid([]int{8, cfg.ClusterSize}, idle, cfg.NonIdleUtil, rng)
+		if err != nil {
+			return HybridPoint{}, err
+		}
+		c, err := p.BSPFor(choice.Procs)
+		if err != nil {
+			return HybridPoint{}, err
+		}
+		nonIdle := choice.Procs - idle
+		if nonIdle < 0 {
+			nonIdle = 0
+		}
+		utils := make([]float64, choice.Procs)
+		for k := 0; k < nonIdle; k++ {
+			utils[k] = cfg.NonIdleUtil
+		}
+		tm, err := parallel.RunBSP(c, utils, rng)
+		if err != nil {
+			return HybridPoint{}, err
+		}
+		bestFixed := math.Inf(1)
+		for _, f := range fixed {
+			if f.App == p.Name && f.IdleNodes == idle {
+				bestFixed = math.Min(f.LL16, math.Min(f.LL8, f.Reconfig))
+			}
+		}
+		return HybridPoint{
+			App:       p.Name,
+			IdleNodes: idle,
+			Procs:     choice.Procs,
+			Slowdown:  tm / base[i/perProfile],
+			BestFixed: bestFixed,
+		}, nil
+	})
 }

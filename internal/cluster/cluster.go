@@ -44,6 +44,12 @@ type Config struct {
 
 	MaxTime float64 // simulation horizon safety, seconds
 	Seed    int64
+
+	// Workers is the worker-pool size used by the batch drivers (Fig7)
+	// that run several independent simulations; <= 0 selects GOMAXPROCS.
+	// A single simulation is always sequential — Workers only fans out
+	// across policies and run kinds, so it never changes results.
+	Workers int
 }
 
 // Placement is the strategy for choosing a destination among eligible

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lingerlonger/internal/core"
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
 )
@@ -148,20 +149,33 @@ type Fig7Row struct {
 
 // Fig7 reproduces the Figure 7 table for one workload configuration:
 // batch metrics from Run plus throughput from a constant-population hour.
-// The cfg's Policy field is overridden for each of the four policies.
+// The cfg's Policy field is overridden for each of the four policies. The
+// eight underlying simulations (batch + throughput per policy) are
+// independent — every one seeds its own RNG from cfg.Seed — so they fan
+// out across a pool of cfg.Workers goroutines without changing any number.
 func Fig7(cfg Config, corpus []*trace.Trace, throughputDur float64) ([]Fig7Row, error) {
-	rows := make([]Fig7Row, 0, 4)
-	for _, p := range core.Policies {
+	type half struct {
+		batch *Result
+		tp    *ThroughputResult
+	}
+	// Task 2k is policy k's batch run, task 2k+1 its throughput run.
+	halves, err := exp.Map(cfg.Workers, 2*len(core.Policies), func(i int) (half, error) {
 		c := cfg
-		c.Policy = p
-		batch, err := Run(c, corpus)
-		if err != nil {
-			return nil, err
+		c.Policy = core.Policies[i/2]
+		if i%2 == 0 {
+			batch, err := Run(c, corpus)
+			return half{batch: batch}, err
 		}
 		tp, err := RunThroughput(c, corpus, throughputDur)
-		if err != nil {
-			return nil, err
-		}
+		return half{tp: tp}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Fig7Row, 0, len(core.Policies))
+	for k, p := range core.Policies {
+		batch, tp := halves[2*k].batch, halves[2*k+1].tp
 		delay := batch.LocalDelay
 		if tp.LocalDelay > delay {
 			delay = tp.LocalDelay

@@ -1,0 +1,132 @@
+// Package exp is the sweep-execution layer: it fans the independent
+// simulation runs of an experiment sweep out across a bounded worker pool
+// while guaranteeing that the results are bit-identical to a serial run.
+//
+// Every figure of the paper is a sweep over independent points (utilization
+// levels, idle-node counts, policies, granularities). The two rules that
+// make such a sweep safe to parallelize are:
+//
+//  1. No shared RNG stream. Each run seeds its own stats.RNG from
+//     DeriveSeed(masterSeed, runIndex) — a SplitMix64-style mix — so the
+//     random numbers a run consumes are a pure function of (master seed,
+//     index), never of which goroutine ran first.
+//  2. Results are collected by index, not by completion order.
+//
+// Under these rules the worker count is an execution detail: Map with one
+// worker and Map with sixteen return the same slice, byte for byte. See
+// DESIGN.md §"Concurrency & determinism".
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lingerlonger/internal/stats"
+)
+
+// DeriveSeed returns the RNG seed for run index of a sweep governed by
+// master. It is a SplitMix64 step-and-finalize: the master seed selects a
+// stream, the index advances it by index+1 increments of the golden-ratio
+// gamma, and the finalizer decorrelates neighbouring indices. Distinct
+// (master, index) pairs yield well-separated seeds, so per-run generators
+// built with stats.NewRNG(DeriveSeed(m, i)) are independent for all
+// practical purposes.
+//
+// DeriveSeed also serves as a stream splitter: chaining
+// DeriveSeed(DeriveSeed(m, a), b) gives a two-level hierarchy of
+// independent seed spaces (used by sweeps that need a baseline phase and a
+// point phase).
+func DeriveSeed(master int64, index int) int64 {
+	const gamma = 0x9e3779b97f4a7c15 // 2^64 / golden ratio, odd
+	z := uint64(master) + gamma*(uint64(int64(index))+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), the pool size used throughout the repository when
+// a config leaves its Workers field zero.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs task(0..n-1) on a pool of at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS) and returns the results ordered by
+// index. Tasks must be independent of each other; under that contract the
+// result slice is identical for every worker count.
+//
+// If any task fails, Map returns the error of the lowest-index failing
+// task (wrapped with that index) and stops dispatching further tasks;
+// already-dispatched tasks run to completion. The lowest-index guarantee
+// keeps even the failure mode deterministic: every index below the first
+// failure is always dispatched, so the reported error cannot depend on
+// goroutine scheduling.
+func Map[T any](workers, n int, task func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	results := make([]T, n)
+	if w == 1 {
+		// Inline serial path: the reference order the pool must reproduce.
+		for i := 0; i < n; i++ {
+			r, err := task(i)
+			if err != nil {
+				return nil, fmt.Errorf("exp: task %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64 // next index to dispatch
+		failed atomic.Bool  // stop dispatching after the first error
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := task(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: task %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// SeededMap is Map for randomized tasks: each task receives a fresh
+// stats.RNG seeded with DeriveSeed(master, i), so no RNG stream is shared
+// between runs and the results do not depend on the worker count.
+func SeededMap[T any](workers int, master int64, n int, task func(i int, rng *stats.RNG) (T, error)) ([]T, error) {
+	return Map(workers, n, func(i int) (T, error) {
+		return task(i, stats.NewRNG(DeriveSeed(master, i)))
+	})
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"lingerlonger/internal/stats"
+)
+
+func TestDeriveSeedDistinctAcrossIndices(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 10000; i++ {
+		s := DeriveSeed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed(1, %d) == DeriveSeed(1, %d) == %d", i, prev, s)
+		}
+		seen[s] = i
+	}
+}
+
+func TestDeriveSeedDistinctAcrossMasters(t *testing.T) {
+	seen := map[int64]int64{}
+	for m := int64(0); m < 10000; m++ {
+		s := DeriveSeed(m, 0)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed(%d, 0) == DeriveSeed(%d, 0) == %d", m, prev, s)
+		}
+		seen[s] = m
+	}
+}
+
+func TestDeriveSeedIsPure(t *testing.T) {
+	for _, idx := range []int{0, 1, 17, 1 << 20, -1, -42} {
+		if DeriveSeed(99, idx) != DeriveSeed(99, idx) {
+			t.Errorf("DeriveSeed(99, %d) not stable", idx)
+		}
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("different masters map index 0 to the same seed")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-3); got != Workers(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS default %d", got, Workers(0))
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		got, err := Map(w, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptySweep(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("Map(_, 0, _) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Map(3, 40, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent tasks, pool bound is 3", p)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 8} {
+		_, err := Map(w, 100, func(i int) (int, error) {
+			if i == 13 || i == 77 {
+				return 0, fmt.Errorf("task-level %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", w)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: error chain broken: %v", w, err)
+		}
+		if !strings.Contains(err.Error(), "task 13") {
+			t.Errorf("workers=%d: error = %q, want the lowest failing index 13", w, err)
+		}
+	}
+}
+
+func TestSeededMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := SeededMap(workers, 42, 64, func(i int, rng *stats.RNG) (float64, error) {
+			// Consume a run-dependent amount of randomness so any stream
+			// sharing between tasks would corrupt later draws.
+			v := 0.0
+			for k := 0; k <= i%5; k++ {
+				v = rng.Float64()
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %v, serial reference %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSeededMapTasksGetIndependentStreams(t *testing.T) {
+	out, err := SeededMap(4, 7, 32, func(i int, rng *stats.RNG) (float64, error) {
+		return rng.Float64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("two tasks drew the identical first variate %v", v)
+		}
+		seen[v] = true
+	}
+}

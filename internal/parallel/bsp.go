@@ -8,6 +8,12 @@
 // whole job (the barrier waits for the slowest process). Communication is
 // network-bound and therefore insensitive to local CPU activity — which is
 // why communication-heavy applications suffer less from lingering.
+//
+// The figure drivers (Fig9, Fig10, Fig11) sweep utilization levels, sync
+// granularities and idle-node counts. Each sweep point runs on the
+// internal/exp worker pool with its own RNG derived from (seed, index),
+// so a Workers-sized pool accelerates the sweep without changing any
+// result (DESIGN.md §8).
 package parallel
 
 import (

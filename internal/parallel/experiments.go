@@ -4,8 +4,14 @@ import (
 	"fmt"
 	"math"
 
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/stats"
 )
+
+// The figure sweeps in this file fan their points out across the
+// internal/exp worker pool. Every point derives its own RNG from
+// (seed, point index), so the results are identical for any worker count;
+// see the exp package documentation for the two rules that make this safe.
 
 // Fig9Point is one x-position of Figure 9: slowdown of an eight-process
 // bulk-synchronous job when one node is non-idle at the given utilization.
@@ -16,20 +22,18 @@ type Fig9Point struct {
 
 // Fig9 reproduces Figure 9: the paper's eight-process synthetic job
 // (100 ms synchronization, NEWS messaging) with exactly one non-idle node
-// whose local utilization sweeps 0..90%.
-func Fig9(seed int64) ([]Fig9Point, error) {
+// whose local utilization sweeps 0..90%. The ten points run on a pool of
+// workers goroutines (<= 0 selects GOMAXPROCS).
+func Fig9(seed int64, workers int) ([]Fig9Point, error) {
 	cfg := DefaultBSPConfig()
-	rng := stats.NewRNG(seed)
-	var out []Fig9Point
-	for i := 0; i <= 9; i++ {
+	return exp.SeededMap(workers, seed, 10, func(i int, rng *stats.RNG) (Fig9Point, error) {
 		u := float64(i) / 10
 		sd, err := Slowdown(cfg, utilVector(cfg.Procs, 1, u), rng)
 		if err != nil {
-			return nil, err
+			return Fig9Point{}, err
 		}
-		out = append(out, Fig9Point{Utilization: u, Slowdown: sd})
-	}
-	return out, nil
+		return Fig9Point{Utilization: u, Slowdown: sd}, nil
+	})
 }
 
 // Fig10Point is one point of Figure 10: slowdown versus synchronization
@@ -42,27 +46,25 @@ type Fig10Point struct {
 
 // Fig10 reproduces Figure 10: synchronization granularity from 10 ms to
 // 10 s against slowdown, with 1, 2, 4 and 8 of the eight nodes non-idle at
-// 20% local utilization.
-func Fig10(seed int64) ([]Fig10Point, error) {
+// 20% local utilization. The 40 grid points run on the exp worker pool.
+func Fig10(seed int64, workers int) ([]Fig10Point, error) {
 	granularitiesMS := []float64{10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
 	nonIdleCounts := []int{1, 2, 4, 8}
-	rng := stats.NewRNG(seed)
-	var out []Fig10Point
-	for _, n := range nonIdleCounts {
-		for _, g := range granularitiesMS {
-			cfg := DefaultBSPConfig()
-			cfg.ComputePerPhase = g / 1000
-			// Keep total simulated work roughly constant so coarse
-			// granularities do not dominate the run time.
-			cfg.Phases = int(math.Max(8, math.Min(200, 20000/g)))
-			sd, err := Slowdown(cfg, utilVector(cfg.Procs, n, 0.20), rng)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig10Point{GranularityMS: g, NonIdleNodes: n, Slowdown: sd})
+	n := len(granularitiesMS) * len(nonIdleCounts)
+	return exp.SeededMap(workers, seed, n, func(i int, rng *stats.RNG) (Fig10Point, error) {
+		nonIdle := nonIdleCounts[i/len(granularitiesMS)]
+		g := granularitiesMS[i%len(granularitiesMS)]
+		cfg := DefaultBSPConfig()
+		cfg.ComputePerPhase = g / 1000
+		// Keep total simulated work roughly constant so coarse
+		// granularities do not dominate the run time.
+		cfg.Phases = int(math.Max(8, math.Min(200, 20000/g)))
+		sd, err := Slowdown(cfg, utilVector(cfg.Procs, nonIdle, 0.20), rng)
+		if err != nil {
+			return Fig10Point{}, err
 		}
-	}
-	return out, nil
+		return Fig10Point{GranularityMS: g, NonIdleNodes: nonIdle, Slowdown: sd}, nil
+	})
 }
 
 // ReconfigConfig parameterizes the Figure 11 head-to-head comparison of
@@ -76,6 +78,7 @@ type ReconfigConfig struct {
 	MsgsPerPhase int
 	MsgLatency   float64
 	Seed         int64
+	Workers      int // sweep worker-pool size; <= 0 selects GOMAXPROCS
 }
 
 // DefaultReconfigConfig returns the paper's Figure 11 setting: a 32-node
@@ -142,14 +145,16 @@ func largestPow2(n int) int {
 // cluster down to zero, the completion time of the parallel job under the
 // linger variants (8, 16, 32 processes) and under power-of-two
 // reconfiguration. Reconfiguration cost itself is not charged, matching
-// the paper's conservative assumption.
+// the paper's conservative assumption. Each idle level is one task on the
+// exp worker pool; within a task the variant runs share the task's RNG
+// sequentially.
 func Fig11(c ReconfigConfig) ([]Fig11Point, error) {
 	if c.ClusterSize <= 0 {
 		return nil, fmt.Errorf("parallel: ClusterSize must be positive, got %d", c.ClusterSize)
 	}
-	rng := stats.NewRNG(c.Seed)
-	var out []Fig11Point
-	for idle := c.ClusterSize; idle >= 0; idle-- {
+	n := c.ClusterSize + 1
+	return exp.SeededMap(c.Workers, c.Seed, n, func(i int, rng *stats.RNG) (Fig11Point, error) {
+		idle := c.ClusterSize - i
 		pt := Fig11Point{IdleNodes: idle, LL: make(map[int]float64)}
 
 		for _, k := range c.LLSizes {
@@ -162,7 +167,7 @@ func Fig11(c ReconfigConfig) ([]Fig11Point, error) {
 			utils := utilVector(k, nonIdle, c.NonIdleUtil)
 			tm, err := RunBSP(cfg, utils, rng)
 			if err != nil {
-				return nil, err
+				return Fig11Point{}, err
 			}
 			pt.LL[k] = tm
 		}
@@ -173,11 +178,10 @@ func Fig11(c ReconfigConfig) ([]Fig11Point, error) {
 			cfg := c.jobFor(kr)
 			tm, err := RunBSP(cfg, make([]float64, kr), rng)
 			if err != nil {
-				return nil, err
+				return Fig11Point{}, err
 			}
 			pt.Reconfig = tm
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }

@@ -29,6 +29,7 @@ import (
 	"lingerlonger/internal/apps"
 	"lingerlonger/internal/cluster"
 	"lingerlonger/internal/core"
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/node"
 	"lingerlonger/internal/parallel"
 	"lingerlonger/internal/stats"
@@ -135,6 +136,22 @@ func Workload1(p Policy) ClusterConfig { return cluster.Workload1(p) }
 
 // Workload2 returns the paper's light workload (16 jobs x 1800 CPU-s).
 func Workload2(p Policy) ClusterConfig { return cluster.Workload2(p) }
+
+// DeriveSeed returns the RNG seed for run index of a sweep governed by
+// master (a SplitMix64-style mix). Seeding each run of a sweep with
+// DeriveSeed(master, i) instead of sharing one RNG stream is what makes
+// ParallelMap results independent of the worker count; see DESIGN.md §8.
+func DeriveSeed(master int64, index int) int64 { return exp.DeriveSeed(master, index) }
+
+// ParallelMap runs task(0..n-1) on a bounded pool of workers goroutines
+// (<= 0 selects GOMAXPROCS) and returns the results ordered by index.
+// Tasks must be independent — in particular, randomized tasks should each
+// build their own RNG via NewRNG(DeriveSeed(seed, i)) — and then the
+// result slice is identical for every worker count. On failure the error
+// of the lowest-index failing task is returned.
+func ParallelMap[T any](workers, n int, task func(i int) (T, error)) ([]T, error) {
+	return exp.Map(workers, n, task)
+}
 
 // RunCluster simulates a batch workload to completion.
 func RunCluster(cfg ClusterConfig, corpus []*Trace) (*ClusterResult, error) {
