@@ -1,5 +1,5 @@
 // Command lingerd runs the prototype cycle-stealing system of
-// internal/runtime (the paper's §7 architecture) in one of three roles:
+// internal/runtime (the paper's §7 architecture) in one of four roles:
 //
 //	lingerd -agent -listen 127.0.0.1:7101 [-util 0.2] [-busyafter 60]
 //	    Serve one workstation agent on a TCP address. The owner workload
@@ -7,16 +7,27 @@
 //	    active at -util.
 //
 //	lingerd -coordinator -agents addr1,addr2,... [-policy LL] [-jobs 4]
-//	         [-demand 120] [-steps 600]
+//	         [-demand 120] [-steps 600] [-fault spec] [-json]
 //	    Connect to running agents, submit jobs, and drive the cluster.
+//	    With -fault, the client-side fault injector severs, delays, or
+//	    garbles calls deterministically from the spec's seed.
 //
 //	lingerd -demo
 //	    Self-contained demonstration: three agents on loopback TCP, one of
 //	    which turns busy, under the LL policy — watch the job linger and
 //	    then migrate.
+//
+//	lingerd -fault drop=0.05,seed=42 [-json]
+//	    Self-contained fault-injection run: four in-process agents behind
+//	    a simulated lossy network. Unless the spec includes a partition,
+//	    one agent is severed mid-run so the suspect/dead detector fires
+//	    and its job is recovered from the coordinator's checkpoint. The
+//	    run is a pure function of the spec: repeated runs with the same
+//	    seed produce byte-identical output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,8 +35,10 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"lingerlonger/internal/core"
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/runtime"
 )
 
@@ -44,11 +57,14 @@ func main() {
 		busyAfter = flag.Float64("busyafter", 60, "agent: seconds of idleness before the owner returns")
 		totalMB   = flag.Float64("mem", 64, "agent: machine memory, MB")
 
-		agents = flag.String("agents", "", "coordinator: comma-separated agent addresses")
-		policy = flag.String("policy", "LL", "coordinator: LL, LF, IE, or PM")
-		jobs   = flag.Int("jobs", 4, "coordinator: jobs to submit")
-		demand = flag.Float64("demand", 120, "coordinator: CPU seconds per job")
-		steps  = flag.Int("steps", 600, "coordinator: virtual seconds to run")
+		agents  = flag.String("agents", "", "coordinator: comma-separated agent addresses")
+		policy  = flag.String("policy", "LL", "coordinator: LL, LF, IE, or PM")
+		jobs    = flag.Int("jobs", 4, "coordinator: jobs to submit")
+		demand  = flag.Float64("demand", 120, "coordinator: CPU seconds per job")
+		steps   = flag.Int("steps", 600, "coordinator: virtual seconds to run")
+		faultSpec = flag.String("fault", "", "fault injection spec, e.g. drop=0.05,seed=42 (alone: run the fault demo)")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON report instead of progress lines")
+		seed    = flag.Int64("seed", 1, "master seed for retry jitter streams")
 	)
 	flag.Parse()
 
@@ -56,9 +72,11 @@ func main() {
 	case *agentMode:
 		runAgent(*listen, *name, *util, *busyAfter, *totalMB)
 	case *coordMode:
-		runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps)
+		runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, *seed, *jsonOut)
 	case *demoMode:
-		runDemo()
+		runDemo(*jsonOut)
+	case *faultSpec != "":
+		runFaultDemo(*faultSpec, *policy, *jobs, *demand, *steps, *jsonOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -93,32 +111,55 @@ func runAgent(listen, name string, util, busyAfter, totalMB float64) {
 	srv.Close()
 }
 
-func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int) {
+func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int, faultSpec string, seed int64, jsonOut bool) {
 	p, err := core.ParsePolicy(policyName)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var injector runtime.FaultInjector
+	if faultSpec != "" {
+		cfg, err := runtime.ParseFaultSpec(faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj, err := runtime.NewSeededInjector(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injector = inj
+	}
+	counters := &runtime.FaultCounters{}
 	var clients []runtime.AgentClient
-	for _, addr := range addrs {
+	for i, addr := range addrs {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		c, err := runtime.DialAgent(addr)
+		ccfg := runtime.DefaultTCPClientConfig()
+		ccfg.Retry.BaseDelay = 10 * time.Millisecond
+		ccfg.Retry.MaxDelay = time.Second
+		ccfg.Retry.Seed = exp.DeriveSeed(seed, i)
+		ccfg.Injector = injector
+		ccfg.Counters = counters
+		c, err := runtime.DialAgentConfig(addr, ccfg)
 		if err != nil {
 			log.Fatalf("dial %s: %v", addr, err)
 		}
 		defer c.Close()
 		clients = append(clients, c)
-		fmt.Printf("connected to agent %q at %s\n", c.Name(), addr)
+		if !jsonOut {
+			fmt.Printf("connected to agent %q at %s\n", c.Name(), addr)
+		}
 	}
 	cfg := runtime.DefaultCoordinatorConfig()
 	cfg.Policy = p
-	drive(cfg, clients, jobs, demand, steps)
+	drive(cfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: faultSpec, jsonOut: jsonOut})
 }
 
-func runDemo() {
-	fmt.Println("demo: three loopback-TCP agents; 'alpha' turns busy after 40s; policy LL")
+func runDemo(jsonOut bool) {
+	if !jsonOut {
+		fmt.Println("demo: three loopback-TCP agents; 'alpha' turns busy after 40s; policy LL")
+	}
 	owners := map[string]*runtime.ScriptedOwner{
 		"alpha": ownerScript(40, 0.5),
 		"beta":  ownerScript(1e9, 0.3), // effectively always idle
@@ -138,44 +179,179 @@ func runDemo() {
 		}
 		defer c.Close()
 		clients = append(clients, c)
-		fmt.Printf("  agent %q on %s\n", name, srv.Addr())
+		if !jsonOut {
+			fmt.Printf("  agent %q on %s\n", name, srv.Addr())
+		}
 	}
-	drive(runtime.DefaultCoordinatorConfig(), clients, 2, 150, 400)
+	drive(runtime.DefaultCoordinatorConfig(), clients, nil, driveOpts{jobs: 2, demand: 150, steps: 400, policy: "LL", jsonOut: jsonOut})
 }
 
-func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, jobs int, demand float64, steps int) {
+// runFaultDemo drives four in-process agents behind a simulated lossy
+// network. The run is fully deterministic: the injector's verdicts are a
+// pure function of the spec's seed, retries consume seeded jitter streams,
+// and time is virtual, so repeated runs emit byte-identical reports.
+func runFaultDemo(spec, policyName string, jobs int, demand float64, steps int, jsonOut bool) {
+	p, err := core.ParsePolicy(policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := runtime.ParseFaultSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(cfg.Partitions) == 0 {
+		// Sever one agent mid-run, while it still hosts a job, so the
+		// failure detector and checkpoint recovery are exercised, not
+		// just retries.
+		cfg.Partitions = map[string]runtime.Partition{"beta": {FromCall: 40, Calls: 150}}
+	}
+	inj, err := runtime.NewSeededInjector(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !jsonOut {
+		fmt.Printf("fault demo: four in-process agents behind a lossy network (%s)\n", spec)
+		for target, pt := range cfg.Partitions {
+			fmt.Printf("  partition: %q severed for calls [%d,%d)\n", target, pt.FromCall, pt.FromCall+pt.Calls)
+		}
+	}
+	counters := &runtime.FaultCounters{}
+	owners := map[string]*runtime.ScriptedOwner{
+		"alpha": ownerScript(40, 0.5),
+		"beta":  ownerScript(1e9, 0.3),
+		"gamma": ownerScript(1e9, 0.3),
+		"delta": ownerScript(1e9, 0.3),
+	}
+	var clients []runtime.AgentClient
+	for i, name := range []string{"alpha", "beta", "gamma", "delta"} {
+		retry := runtime.DefaultRetryConfig()
+		retry.Seed = exp.DeriveSeed(cfg.Seed, i)
+		clients = append(clients, runtime.NewFaultClient(runtime.NewAgent(name, owners[name], 64), inj, retry, counters))
+	}
+	ccfg := runtime.DefaultCoordinatorConfig()
+	ccfg.Policy = p
+	drive(ccfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: spec, jsonOut: jsonOut})
+}
+
+// driveOpts carries the run parameters into the shared driver.
+type driveOpts struct {
+	jobs      int
+	demand    float64
+	steps     int
+	policy    string
+	faultSpec string
+	jsonOut   bool
+}
+
+// report is the deterministic JSON summary of a run: a pure function of
+// (scenario, fault spec, seed) — no wall-clock anywhere.
+type report struct {
+	Policy     string                   `json:"policy"`
+	Fault      string                   `json:"fault,omitempty"`
+	Jobs       int                      `json:"jobs"`
+	Steps      int                      `json:"steps"`
+	Completed  []completionRecord       `json:"completed"`
+	Lost       int                      `json:"lost"`
+	Active     int                      `json:"active"`
+	Queued     int                      `json:"queued"`
+	Migrations int                      `json:"migrations"`
+	Recovery   runtime.RecoveryCounters `json:"recovery"`
+	Transport  *runtime.FaultCounters   `json:"transport,omitempty"`
+}
+
+type completionRecord struct {
+	ID        int     `json:"id"`
+	Agent     string  `json:"agent"`
+	Submitted float64 `json:"submittedAt"`
+	Completed float64 `json:"completedAt"`
+	Response  float64 `json:"responseS"`
+}
+
+func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, counters *runtime.FaultCounters, opts driveOpts) {
 	coord, err := runtime.NewCoordinator(cfg, clients)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < jobs; i++ {
-		id, err := coord.Submit(demand, 8)
+	for i := 0; i < opts.jobs; i++ {
+		id, err := coord.Submit(opts.demand, 8)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("submitted job %d (%.0f CPU-s)\n", id, demand)
+		if !opts.jsonOut {
+			fmt.Printf("submitted job %d (%.0f CPU-s)\n", id, opts.demand)
+		}
 	}
 	lastMigr := 0
 	lastDone := 0
-	for i := 0; i < steps; i++ {
+	lastRecovered := 0
+	for i := 0; i < opts.steps; i++ {
 		if err := coord.Step(1); err != nil {
 			log.Fatal(err)
 		}
-		if m := coord.Migrations(); m != lastMigr {
-			fmt.Printf("t=%4.0fs migration #%d started\n", coord.Now(), m)
-			lastMigr = m
-		}
-		if done := coord.Completed(); len(done) != lastDone {
-			for _, d := range done[lastDone:] {
-				fmt.Printf("t=%4.0fs job %d completed on %q (response %.0fs)\n",
-					coord.Now(), d.Job.ID, d.Agent, d.CompletedAt-d.Job.SubmittedAt)
+		if !opts.jsonOut {
+			if m := coord.Migrations(); m != lastMigr {
+				fmt.Printf("t=%4.0fs migration #%d started\n", coord.Now(), m)
+				lastMigr = m
 			}
-			lastDone = len(done)
+			if r := coord.Counters().RecoveredJobs; r != lastRecovered {
+				fmt.Printf("t=%4.0fs job recovery #%d (agent failure)\n", coord.Now(), r)
+				lastRecovered = r
+			}
+			if done := coord.Completed(); len(done) != lastDone {
+				for _, d := range done[lastDone:] {
+					fmt.Printf("t=%4.0fs job %d completed on %q (response %.0fs)\n",
+						coord.Now(), d.Job.ID, d.Agent, d.CompletedAt-d.Job.SubmittedAt)
+				}
+				lastDone = len(done)
+			}
 		}
-		if lastDone == jobs {
+		if len(coord.Completed()) == opts.jobs {
 			break
 		}
 	}
-	fmt.Printf("done: %d/%d jobs completed, %d migrations, %d still queued\n",
-		lastDone, jobs, coord.Migrations(), coord.QueueLen())
+	done := coord.Completed()
+	// The invariant checker proves no job was lost or double-tracked; a
+	// violation is a bug worth dying loudly over, in any output mode.
+	if err := coord.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	if opts.jsonOut {
+		r := report{
+			Policy:     opts.policy,
+			Fault:      opts.faultSpec,
+			Jobs:       opts.jobs,
+			Steps:      opts.steps,
+			Completed:  []completionRecord{},
+			Lost:       0, // guaranteed by CheckInvariants above
+			Active:     opts.jobs - len(done) - coord.QueueLen(),
+			Queued:     coord.QueueLen(),
+			Migrations: coord.Migrations(),
+			Recovery:   coord.Counters(),
+			Transport:  counters,
+		}
+		for _, d := range done {
+			r.Completed = append(r.Completed, completionRecord{
+				ID:        d.Job.ID,
+				Agent:     d.Agent,
+				Submitted: d.Job.SubmittedAt,
+				Completed: d.CompletedAt,
+				Response:  d.CompletedAt - d.Job.SubmittedAt,
+			})
+		}
+		out, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("done: %d/%d jobs completed, %d migrations, %d recoveries, %d retries, %d still queued\n",
+		len(done), opts.jobs, coord.Migrations(), coord.Counters().RecoveredJobs, transportRetries(counters), coord.QueueLen())
+}
+
+func transportRetries(c *runtime.FaultCounters) int {
+	if c == nil {
+		return 0
+	}
+	return c.Retries
 }

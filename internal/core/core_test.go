@@ -222,3 +222,87 @@ func TestDeciderUnknownPolicyPanics(t *testing.T) {
 	}()
 	Decider{}.ShouldMigrate(Policy(42), 0, 0.5, 0, 8)
 }
+
+func TestHealthPolicyValidate(t *testing.T) {
+	if err := DefaultHealthPolicy().Validate(); err != nil {
+		t.Errorf("default policy invalid: %v", err)
+	}
+	for _, p := range []HealthPolicy{
+		{SuspectAfter: 0, DeadAfter: 5},
+		{SuspectAfter: -1, DeadAfter: 5},
+		{SuspectAfter: 3, DeadAfter: 2},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %+v accepted", p)
+		}
+	}
+}
+
+func TestHealthTrackerStateMachine(t *testing.T) {
+	tr := NewHealthTracker(HealthPolicy{SuspectAfter: 2, DeadAfter: 4})
+	if tr.State() != Healthy {
+		t.Fatalf("initial state = %v", tr.State())
+	}
+	// Single misses below the threshold stay Healthy.
+	if st := tr.Observe(false); st != Healthy {
+		t.Errorf("after 1 miss: %v", st)
+	}
+	if st := tr.Observe(false); st != Suspect {
+		t.Errorf("after 2 misses: %v", st)
+	}
+	if st := tr.Observe(false); st != Suspect {
+		t.Errorf("after 3 misses: %v", st)
+	}
+	if st := tr.Observe(false); st != Dead {
+		t.Errorf("after 4 misses: %v", st)
+	}
+	if tr.Missed() != 4 {
+		t.Errorf("missed = %d, want 4", tr.Missed())
+	}
+	// Dead is not terminal: a success resurrects from any state.
+	if st := tr.Observe(true); st != Healthy {
+		t.Errorf("after resurrection: %v", st)
+	}
+	if tr.Missed() != 0 {
+		t.Errorf("missed after success = %d", tr.Missed())
+	}
+	// A success mid-streak resets the consecutive count entirely.
+	tr.Observe(false)
+	tr.Observe(true)
+	if st := tr.Observe(false); st != Healthy {
+		t.Errorf("one miss after reset: %v", st)
+	}
+}
+
+func TestHealthTrackerPanicsOnInvalidPolicy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid policy accepted")
+		}
+	}()
+	NewHealthTracker(HealthPolicy{SuspectAfter: 5, DeadAfter: 2})
+}
+
+func TestHealthStateString(t *testing.T) {
+	for want, s := range map[string]HealthState{
+		"healthy": Healthy, "suspect": Suspect, "dead": Dead,
+	} {
+		if s.String() != want {
+			t.Errorf("String() = %q, want %q", s.String(), want)
+		}
+	}
+	if HealthState(42).String() == "" {
+		t.Error("unknown state stringifies empty")
+	}
+}
+
+// Recovering a checkpointed job costs exactly the §2 migration time: the
+// checkpoint image ships like a live migration.
+func TestRecoveryCostEqualsMigration(t *testing.T) {
+	m := DefaultMigrationCost()
+	for _, mb := range []float64{0, 8, 24, 64} {
+		if got, want := RecoveryCost(m, mb), m.Time(mb); got != want {
+			t.Errorf("RecoveryCost(%gMB) = %g, want %g", mb, got, want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import "fmt"
+
+// Failure model: the coordinator cannot distinguish a slow agent from a
+// dead one, so agent health is tracked with a suspect/dead state machine
+// driven by consecutive missed status ticks. A job on a dead agent is
+// restored from the coordinator's last checkpointed status and charged the
+// paper's §2 migration cost — the checkpoint image must be shipped to the
+// new host exactly like a migrating process image.
+
+// HealthState is one agent's position in the failure state machine.
+type HealthState int
+
+const (
+	// Healthy: the last tick succeeded.
+	Healthy HealthState = iota
+	// Suspect: at least SuspectAfter consecutive ticks missed — the agent
+	// receives no new work but its job is not yet recovered.
+	Suspect
+	// Dead: at least DeadAfter consecutive ticks missed — the agent's jobs
+	// are recovered and rescheduled.
+	Dead
+)
+
+// String names the state.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(s))
+}
+
+// HealthPolicy sets the missed-tick thresholds of the state machine.
+type HealthPolicy struct {
+	SuspectAfter int // consecutive misses before Suspect
+	DeadAfter    int // consecutive misses before Dead
+}
+
+// DefaultHealthPolicy suspects after 2 missed ticks and declares death
+// after 5.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{SuspectAfter: 2, DeadAfter: 5}
+}
+
+// Validate checks threshold sanity.
+func (p HealthPolicy) Validate() error {
+	if p.SuspectAfter < 1 {
+		return fmt.Errorf("core: SuspectAfter %d < 1", p.SuspectAfter)
+	}
+	if p.DeadAfter < p.SuspectAfter {
+		return fmt.Errorf("core: DeadAfter %d < SuspectAfter %d", p.DeadAfter, p.SuspectAfter)
+	}
+	return nil
+}
+
+// HealthTracker runs the suspect/dead state machine for one agent. The
+// zero value is not usable; construct with NewHealthTracker.
+type HealthTracker struct {
+	policy HealthPolicy
+	missed int
+	state  HealthState
+}
+
+// NewHealthTracker returns a tracker in the Healthy state. It panics on an
+// invalid policy (a construction-time programming error).
+func NewHealthTracker(p HealthPolicy) *HealthTracker {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &HealthTracker{policy: p}
+}
+
+// Observe records the outcome of one tick and returns the new state. A
+// success resets the machine to Healthy from any state — a dead agent that
+// answers again has resurrected (the caller reconciles its stale state).
+func (t *HealthTracker) Observe(ok bool) HealthState {
+	if ok {
+		t.missed = 0
+		t.state = Healthy
+		return t.state
+	}
+	t.missed++
+	switch {
+	case t.missed >= t.policy.DeadAfter:
+		t.state = Dead
+	case t.missed >= t.policy.SuspectAfter:
+		t.state = Suspect
+	}
+	return t.state
+}
+
+// State returns the current state without observing anything.
+func (t *HealthTracker) State() HealthState { return t.state }
+
+// Missed returns the current consecutive-miss count.
+func (t *HealthTracker) Missed() int { return t.missed }
+
+// RecoveryCost returns the time charged to restore a checkpointed job of
+// jobMB megabytes onto a new host after its agent died. The checkpoint
+// image travels the same network and pays the same per-endpoint processing
+// as a live migration, so the charge is the full §2 Tmigr.
+func RecoveryCost(m MigrationCost, jobMB float64) float64 {
+	return m.Time(jobMB)
+}

@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -194,4 +195,76 @@ func TestPoolInvariantsQuick(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
+}
+
+// Model-based property test: a seeded random operation sequence is applied
+// both to the pool and to a three-counter reference model of the §3.2
+// priority semantics. Every step the pool must match the model exactly and
+// conserve pages — this is the invariant the runtime's fault-injection
+// tests rely on when they assert pool cleanliness after recovery.
+func TestPoolMatchesReferenceModel(t *testing.T) {
+	const total = 1024 // NewPool(4,4)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPool(4, 4)
+		var local, foreign int // the model; free is total-local-foreign
+		for step := 0; step < 2000; step++ {
+			n := rng.Intn(1200)
+			switch rng.Intn(5) {
+			case 0: // RequestLocal: free first, then reclaim, never past total
+				free := total - local - foreign
+				reclaim := min(max(n-free, 0), foreign)
+				wantGranted := min(n, total-local)
+				granted, reclaimed := p.RequestLocal(n)
+				if granted != wantGranted || reclaimed != reclaim {
+					t.Fatalf("seed %d step %d: RequestLocal(%d) = (%d, %d), model (%d, %d)",
+						seed, step, n, granted, reclaimed, wantGranted, reclaim)
+				}
+				local = min(local+n, total)
+				foreign -= reclaim
+			case 1: // RequestForeign: free list only
+				free := total - local - foreign
+				want := min(n, free)
+				if granted := p.RequestForeign(n); granted != want {
+					t.Fatalf("seed %d step %d: RequestForeign(%d) = %d, model %d",
+						seed, step, n, granted, want)
+				}
+				foreign += want
+			case 2:
+				n = min(n, local)
+				p.ReleaseLocal(n)
+				local -= n
+			case 3:
+				n = min(n, foreign)
+				p.ReleaseForeign(n)
+				foreign -= n
+			case 4:
+				p.SetLocalUsage(n)
+				target := min(n, total)
+				if target > local {
+					free := total - local - foreign
+					foreign -= min(max(target-local-free, 0), foreign)
+				}
+				local = target
+			}
+			if p.LocalPages() != local || p.ForeignPages() != foreign {
+				t.Fatalf("seed %d step %d: pool (local %d, foreign %d) diverged from model (local %d, foreign %d)",
+					seed, step, p.LocalPages(), p.ForeignPages(), local, foreign)
+			}
+			if p.FreePages()+p.LocalPages()+p.ForeignPages() != p.TotalPages() {
+				t.Fatalf("seed %d step %d: pages not conserved: %d+%d+%d != %d",
+					seed, step, p.FreePages(), p.LocalPages(), p.ForeignPages(), p.TotalPages())
+			}
+			if p.FreePages() < 0 {
+				t.Fatalf("seed %d step %d: negative free list", seed, step)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"lingerlonger/internal/memory"
@@ -12,6 +13,14 @@ import (
 // coordinator's tick/assign/revoke/pause requests. Methods are safe for
 // concurrent use (the TCP server invokes them from a connection
 // goroutine).
+//
+// For fault tolerance the agent keeps two pieces of staging until the
+// coordinator acknowledges them with Ack: finished jobs (re-reported in
+// every tick status) and the state surrendered by Revoke (so a Revoke
+// whose reply was lost can be retried, or recovered from the status
+// report). Call is the at-most-once entry point: requests stamped with a
+// sequence number are executed once and their response cached, so a
+// retried request never double-executes.
 type Agent struct {
 	mu sync.Mutex
 
@@ -28,16 +37,22 @@ type Agent struct {
 	episodeUtilSum float64
 	episodeTicks   int
 
-	completed []Job // jobs finished since the last tick report was drained
+	completed []Job       // finished jobs awaiting acknowledgment
+	revoked   map[int]Job // revoked job state awaiting acknowledgment
+
+	callMu   sync.Mutex // serializes Call; separate from mu (dispatch locks mu)
+	lastSeq  uint64
+	lastResp response
 }
 
 // NewAgent returns an agent named name whose owner workload comes from
 // owner, on a machine of totalMB megabytes.
 func NewAgent(name string, owner OwnerSource, totalMB float64) *Agent {
 	return &Agent{
-		name:  name,
-		owner: owner,
-		pool:  memory.NewPool(totalMB, 4),
+		name:    name,
+		owner:   owner,
+		pool:    memory.NewPool(totalMB, 4),
+		revoked: map[int]Job{},
 	}
 }
 
@@ -51,6 +66,15 @@ func (a *Agent) Now() float64 {
 	return a.now
 }
 
+// PoolPages returns a snapshot of the agent's priority page pool for
+// diagnostics and invariant checks: free, owner-resident (local),
+// guest-resident (foreign), and total pages.
+func (a *Agent) PoolPages() (free, local, foreign, total int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pool.FreePages(), a.pool.LocalPages(), a.pool.ForeignPages(), a.pool.TotalPages()
+}
+
 // Assign places job on the agent. It fails if the agent already hosts a
 // job or the free list cannot hold the job's image (the priority
 // page-pool admission check).
@@ -61,6 +85,9 @@ func (a *Agent) Assign(j *Job) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.job != nil {
+		if a.job.ID == j.ID {
+			return nil // idempotent: a retried Assign whose reply was lost
+		}
 		return fmt.Errorf("runtime: agent %s already hosts job %d", a.name, a.job.ID)
 	}
 	// Reflect the owner's current memory demand in the pool, then admit.
@@ -76,19 +103,46 @@ func (a *Agent) Assign(j *Job) error {
 	return nil
 }
 
-// Revoke removes and returns the agent's job state (for migration). It
-// fails when no job is hosted or the ID does not match.
+// Revoke removes and returns the agent's job state (for migration). The
+// surrendered state is also staged until the coordinator acknowledges it
+// with Ack, so a repeated Revoke for the same job (a retry after a lost
+// reply) returns the same state instead of failing. It fails when the job
+// is neither hosted nor staged.
 func (a *Agent) Revoke(jobID int) (*Job, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.job == nil || a.job.ID != jobID {
+		if staged, ok := a.revoked[jobID]; ok {
+			cp := staged
+			return &cp, nil
+		}
 		return nil, fmt.Errorf("runtime: agent %s does not host job %d", a.name, jobID)
 	}
 	j := a.job
 	a.job = nil
 	a.paused = false
 	a.pool.ReleaseForeign(a.pool.ForeignPages())
+	a.revoked[j.ID] = *j
 	return j, nil
+}
+
+// Ack clears the completion and revocation staging for the given job IDs.
+// The coordinator calls it after processing a status report; an Ack lost in
+// transit is harmless because staging is simply re-reported and the
+// coordinator deduplicates.
+func (a *Agent) Ack(ids []int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, id := range ids {
+		delete(a.revoked, id)
+		for i, j := range a.completed {
+			if j.ID == id {
+				a.completed = append(a.completed[:i], a.completed[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
 }
 
 // Pause suspends or resumes the hosted job in place (Pause-and-Migrate's
@@ -171,7 +225,63 @@ func (a *Agent) Tick(dt float64) (AgentStatus, error) {
 			a.pool.ReleaseForeign(a.pool.ForeignPages())
 		}
 	}
+	st.Finished = append([]Job(nil), a.completed...)
+	if len(a.revoked) > 0 {
+		ids := make([]int, 0, len(a.revoked))
+		for id := range a.revoked {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			st.Revoked = append(st.Revoked, a.revoked[id])
+		}
+	}
 	return st, nil
+}
+
+// Call is the request-level entry point shared by the TCP server and the
+// in-process fault client. Requests with a non-zero sequence number get
+// at-most-once semantics: a request whose sequence matches the previous one
+// returns the cached response without re-executing (the retry of a call
+// whose reply was lost). Calls must be sequential per coordinator, which
+// the synchronous step loop guarantees.
+func (a *Agent) Call(req request) response {
+	a.callMu.Lock()
+	defer a.callMu.Unlock()
+	if req.Seq != 0 && req.Seq == a.lastSeq {
+		return a.lastResp
+	}
+	resp := a.dispatch(req)
+	if req.Seq != 0 {
+		a.lastSeq, a.lastResp = req.Seq, resp
+	}
+	return resp
+}
+
+// dispatch executes one protocol request against the agent.
+func (a *Agent) dispatch(req request) response {
+	var resp response
+	switch req.Kind {
+	case reqName:
+		resp.Name = a.Name()
+	case reqTick:
+		st, err := a.Tick(req.Dt)
+		resp.Status = st
+		resp.Err = errString(err)
+	case reqAssign:
+		resp.Err = errString(a.Assign(req.Job))
+	case reqRevoke:
+		j, err := a.Revoke(req.JobID)
+		resp.Job = j
+		resp.Err = errString(err)
+	case reqPause:
+		resp.Err = errString(a.Pause(req.JobID, req.Paused))
+	case reqAck:
+		resp.Err = errString(a.Ack(req.Ack))
+	default:
+		resp.Err = fmt.Sprintf("runtime: unknown request kind %d", req.Kind)
+	}
+	return resp
 }
 
 // DrainCompleted returns and clears the jobs finished since the last call.

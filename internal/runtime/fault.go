@@ -1,0 +1,459 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lingerlonger/internal/exp"
+	"lingerlonger/internal/stats"
+)
+
+// This file is the failure model of the prototype: typed transport errors,
+// a deterministic seeded fault injector, the bounded-retry policy shared by
+// every AgentClient implementation, and FaultClient — an in-process client
+// that simulates a lossy network between the coordinator and an agent so
+// failure scenarios replay byte-identically from a seed.
+
+// Typed transport errors. Every AgentClient call that fails for a network
+// reason (rather than an agent-level rejection) wraps one of these, so the
+// coordinator can distinguish "the agent said no" from "the agent may or
+// may not have heard me".
+var (
+	// ErrAgentTimeout reports a call that exceeded its per-RPC deadline.
+	// The request may or may not have executed on the agent.
+	ErrAgentTimeout = errors.New("runtime: agent call timed out")
+
+	// ErrAgentDown reports a connection-level failure (refused, reset,
+	// closed mid-call). The request may or may not have executed.
+	ErrAgentDown = errors.New("runtime: agent unreachable")
+
+	// ErrCorruptFrame reports a reply that could not be decoded. The
+	// request executed; its result was lost in transit.
+	ErrCorruptFrame = errors.New("runtime: corrupt transport frame")
+)
+
+// IsTransient reports whether err is a transport-level failure worth
+// retrying (the call outcome is unknown), as opposed to an agent-level
+// rejection (the call definitely executed and was refused).
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrAgentTimeout) ||
+		errors.Is(err, ErrAgentDown) ||
+		errors.Is(err, ErrCorruptFrame)
+}
+
+// FaultAction is the injector's verdict for one network attempt.
+type FaultAction int
+
+const (
+	// FaultNone delivers the call untouched.
+	FaultNone FaultAction = iota
+	// FaultDropSend loses the request before the agent sees it.
+	FaultDropSend
+	// FaultDropReply executes the call on the agent but loses the reply.
+	FaultDropReply
+	// FaultCorrupt executes the call but garbles the reply frame.
+	FaultCorrupt
+	// FaultDelay executes the call but delays the reply past the client's
+	// deadline — indistinguishable from FaultDropReply to the caller, but
+	// counted separately.
+	FaultDelay
+)
+
+// String names the action for logs and tests.
+func (a FaultAction) String() string {
+	switch a {
+	case FaultNone:
+		return "none"
+	case FaultDropSend:
+		return "drop-send"
+	case FaultDropReply:
+		return "drop-reply"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("FaultAction(%d)", int(a))
+}
+
+// FaultInjector decides the fate of each network attempt to a target
+// agent. Implementations must be deterministic: the verdict sequence for a
+// target may depend only on construction parameters and the per-target
+// attempt count. Next is called once per attempt, including retries.
+type FaultInjector interface {
+	Next(target string, kind reqKind) FaultAction
+}
+
+// Partition severs one agent for a window of attempts: every attempt with
+// per-target index in [FromCall, FromCall+Calls) is dropped before sending.
+type Partition struct {
+	FromCall int // first severed attempt index (0-based, per target)
+	Calls    int // number of severed attempts
+}
+
+// FaultConfig parameterizes the seeded injector. The probabilities are
+// per-attempt and mutually exclusive (their sum must be <= 1); Partitions
+// override the probabilistic verdict during their window.
+type FaultConfig struct {
+	Drop      float64 // P(request lost before the agent sees it)
+	DropReply float64 // P(call executes, reply lost)
+	Corrupt   float64 // P(call executes, reply frame garbled)
+	Delay     float64 // P(call executes, reply slower than the deadline)
+	Seed      int64
+	Partitions map[string]Partition // target name -> severed window
+}
+
+// Validate checks the configured probabilities.
+func (c FaultConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", c.Drop}, {"dropreply", c.DropReply}, {"corrupt", c.Corrupt}, {"delay", c.Delay}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("runtime: fault %s probability %g out of [0,1]", p.name, p.v)
+		}
+	}
+	if s := c.Drop + c.DropReply + c.Corrupt + c.Delay; s > 1 {
+		return fmt.Errorf("runtime: fault probabilities sum to %g > 1", s)
+	}
+	for name, p := range c.Partitions {
+		if p.FromCall < 0 || p.Calls < 0 {
+			return fmt.Errorf("runtime: partition %s window [%d,+%d) invalid", name, p.FromCall, p.Calls)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c FaultConfig) Enabled() bool {
+	return c.Drop > 0 || c.DropReply > 0 || c.Corrupt > 0 || c.Delay > 0 || len(c.Partitions) > 0
+}
+
+// ParseFaultSpec parses the comma-separated key=value syntax of the
+// lingerd -fault flag, e.g.
+//
+//	drop=0.05,seed=42
+//	drop=0.1,dropreply=0.02,corrupt=0.01,partition=beta:150+200
+//
+// Keys: drop, dropreply, corrupt, delay (probabilities), seed (int64), and
+// partition=<target>:<from>+<calls> (repeatable).
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	cfg := FaultConfig{Partitions: map[string]Partition{}}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return cfg, fmt.Errorf("runtime: fault spec field %q is not key=value", field)
+		}
+		switch key {
+		case "drop", "dropreply", "corrupt", "delay":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("runtime: fault spec %s=%q: %v", key, val, err)
+			}
+			switch key {
+			case "drop":
+				cfg.Drop = f
+			case "dropreply":
+				cfg.DropReply = f
+			case "corrupt":
+				cfg.Corrupt = f
+			case "delay":
+				cfg.Delay = f
+			}
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("runtime: fault spec seed=%q: %v", val, err)
+			}
+			cfg.Seed = n
+		case "partition":
+			target, window, ok := strings.Cut(val, ":")
+			if !ok {
+				return cfg, fmt.Errorf("runtime: partition %q is not target:from+calls", val)
+			}
+			from, calls, ok := strings.Cut(window, "+")
+			if !ok {
+				return cfg, fmt.Errorf("runtime: partition window %q is not from+calls", window)
+			}
+			f, err1 := strconv.Atoi(from)
+			n, err2 := strconv.Atoi(calls)
+			if err1 != nil || err2 != nil || f < 0 || n < 0 {
+				return cfg, fmt.Errorf("runtime: partition window %q invalid", window)
+			}
+			cfg.Partitions[target] = Partition{FromCall: f, Calls: n}
+		default:
+			return cfg, fmt.Errorf("runtime: unknown fault spec key %q", key)
+		}
+	}
+	return cfg, cfg.Validate()
+}
+
+// SeededInjector is the deterministic FaultInjector: each target gets an
+// independent RNG stream derived from (Seed, hash(target)), and one uniform
+// draw decides each attempt's fate. The verdict sequence for a target is a
+// pure function of the config and the attempt index, so runs replay
+// byte-identically regardless of goroutine scheduling or which other
+// targets exist.
+type SeededInjector struct {
+	cfg FaultConfig
+
+	mu      sync.Mutex
+	streams map[string]*targetStream
+}
+
+type targetStream struct {
+	rng   *stats.RNG
+	calls int
+}
+
+// NewSeededInjector validates cfg and returns the injector.
+func NewSeededInjector(cfg FaultConfig) (*SeededInjector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SeededInjector{cfg: cfg, streams: map[string]*targetStream{}}, nil
+}
+
+// Next returns the verdict for the next attempt to target. Safe for
+// concurrent use; determinism holds as long as attempts to any one target
+// are sequential (which the coordinator's synchronous step loop guarantees).
+func (f *SeededInjector) Next(target string, kind reqKind) FaultAction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.streams[target]
+	if s == nil {
+		h := fnv.New64a()
+		h.Write([]byte(target))
+		s = &targetStream{rng: stats.NewRNG(exp.DeriveSeed(f.cfg.Seed^int64(h.Sum64()), 0))}
+		f.streams[target] = s
+	}
+	call := s.calls
+	s.calls++
+	// The draw happens unconditionally so that a partition window does not
+	// shift the verdicts of the calls after it.
+	u := s.rng.Float64()
+	if p, ok := f.cfg.Partitions[target]; ok && call >= p.FromCall && call < p.FromCall+p.Calls {
+		return FaultDropSend
+	}
+	switch {
+	case u < f.cfg.Drop:
+		return FaultDropSend
+	case u < f.cfg.Drop+f.cfg.DropReply:
+		return FaultDropReply
+	case u < f.cfg.Drop+f.cfg.DropReply+f.cfg.Corrupt:
+		return FaultCorrupt
+	case u < f.cfg.Drop+f.cfg.DropReply+f.cfg.Corrupt+f.cfg.Delay:
+		return FaultDelay
+	}
+	return FaultNone
+}
+
+// FaultCounters tallies transport-level events across a run. Clients
+// sharing one counter struct must be driven sequentially (the coordinator's
+// step loop is).
+type FaultCounters struct {
+	Attempts      int `json:"attempts"`
+	Retries       int `json:"retries"`
+	Timeouts      int `json:"timeouts"`
+	CorruptFrames int `json:"corruptFrames"`
+	DroppedSends  int `json:"droppedSends"`
+	DroppedReplies int `json:"droppedReplies"`
+	Delays        int `json:"delays"`
+}
+
+// RetryConfig bounds the retry loop every client runs around a transient
+// failure: up to MaxAttempts attempts with exponential backoff starting at
+// BaseDelay, capped at MaxDelay, with full jitter drawn from a stream
+// seeded via exp.DeriveSeed(Seed, 0) so wall-clock behavior is reproducible.
+// A zero BaseDelay disables sleeping (the virtual-time test default).
+type RetryConfig struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+	Seed        int64
+}
+
+// DefaultRetryConfig returns three attempts with no backoff sleep — the
+// deterministic virtual-time default. Real TCP deployments should set
+// BaseDelay (lingerd uses 10ms).
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{MaxAttempts: 3}
+}
+
+// attempts returns the effective attempt bound (at least one).
+func (rc RetryConfig) attempts() int {
+	if rc.MaxAttempts < 1 {
+		return 1
+	}
+	return rc.MaxAttempts
+}
+
+// backoff returns the sleep before retry attempt (1-based), with
+// exponential growth and full jitter in [1/2, 1) of the nominal delay.
+func (rc RetryConfig) backoff(attempt int, rng *stats.RNG) time.Duration {
+	if rc.BaseDelay <= 0 {
+		return 0
+	}
+	d := rc.BaseDelay << uint(attempt-1)
+	if rc.MaxDelay > 0 && d > rc.MaxDelay {
+		d = rc.MaxDelay
+	}
+	return time.Duration((0.5 + 0.5*rng.Float64()) * float64(d))
+}
+
+// invokeRetry runs attempt under rc: transient errors are retried (with
+// backoff and counters), agent-level errors and successes return
+// immediately. It returns the last response and error.
+func invokeRetry(rc RetryConfig, rng *stats.RNG, counters *FaultCounters, attempt func() (response, error)) (response, error) {
+	var resp response
+	var err error
+	for i := 0; i < rc.attempts(); i++ {
+		if i > 0 {
+			if counters != nil {
+				counters.Retries++
+			}
+			if d := rc.backoff(i, rng); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if counters != nil {
+			counters.Attempts++
+		}
+		resp, err = attempt()
+		if err == nil || !IsTransient(err) {
+			return resp, err
+		}
+	}
+	return resp, err
+}
+
+// FaultClient is an in-process AgentClient that simulates the lossy
+// network between the coordinator and one agent: every logical call is
+// stamped with a sequence number (at-most-once execution via the agent's
+// dedup cache), each network attempt consults the FaultInjector, and
+// transient failures are retried per the RetryConfig. With a nil injector
+// it behaves exactly like LocalClient plus sequencing.
+//
+// Because the simulated network sits above a real *Agent, fault scenarios
+// (dropped requests, lost replies, partitions, corrupt frames) replay
+// byte-identically from the injector's seed — the deterministic test
+// harness for the coordinator's failure handling.
+type FaultClient struct {
+	agent    *Agent
+	injector FaultInjector
+	retry    RetryConfig
+	counters *FaultCounters
+	rng      *stats.RNG
+	seq      uint64
+}
+
+// NewFaultClient wraps agent in a simulated lossy network. injector and
+// counters may be nil.
+func NewFaultClient(agent *Agent, injector FaultInjector, retry RetryConfig, counters *FaultCounters) *FaultClient {
+	return &FaultClient{
+		agent:    agent,
+		injector: injector,
+		retry:    retry,
+		counters: counters,
+		rng:      stats.NewRNG(exp.DeriveSeed(retry.Seed, 0)),
+	}
+}
+
+// Name returns the wrapped agent's name.
+func (c *FaultClient) Name() string { return c.agent.Name() }
+
+// call runs one logical operation through the simulated network.
+func (c *FaultClient) call(req request) (response, error) {
+	c.seq++
+	req.Seq = c.seq
+	name := c.agent.Name()
+	return invokeRetry(c.retry, c.rng, c.counters, func() (response, error) {
+		action := FaultNone
+		if c.injector != nil {
+			action = c.injector.Next(name, req.Kind)
+		}
+		switch action {
+		case FaultDropSend:
+			if c.counters != nil {
+				c.counters.DroppedSends++
+				c.counters.Timeouts++
+			}
+			return response{}, fmt.Errorf("request to %s lost: %w", name, ErrAgentTimeout)
+		case FaultDropReply:
+			c.agent.Call(req)
+			if c.counters != nil {
+				c.counters.DroppedReplies++
+				c.counters.Timeouts++
+			}
+			return response{}, fmt.Errorf("reply from %s lost: %w", name, ErrAgentTimeout)
+		case FaultDelay:
+			c.agent.Call(req)
+			if c.counters != nil {
+				c.counters.Delays++
+				c.counters.Timeouts++
+			}
+			return response{}, fmt.Errorf("reply from %s past deadline: %w", name, ErrAgentTimeout)
+		case FaultCorrupt:
+			c.agent.Call(req)
+			if c.counters != nil {
+				c.counters.CorruptFrames++
+			}
+			return response{}, fmt.Errorf("reply from %s garbled: %w", name, ErrCorruptFrame)
+		}
+		resp := c.agent.Call(req)
+		if resp.Err != "" {
+			return resp, errors.New(resp.Err)
+		}
+		return resp, nil
+	})
+}
+
+// Tick advances the agent through the simulated network.
+func (c *FaultClient) Tick(dt float64) (AgentStatus, error) {
+	resp, err := c.call(request{Kind: reqTick, Dt: dt})
+	return resp.Status, err
+}
+
+// Assign places a job on the agent.
+func (c *FaultClient) Assign(j *Job) error {
+	_, err := c.call(request{Kind: reqAssign, Job: j})
+	return err
+}
+
+// Revoke removes a job from the agent, returning its state.
+func (c *FaultClient) Revoke(jobID int) (*Job, error) {
+	resp, err := c.call(request{Kind: reqRevoke, JobID: jobID})
+	return resp.Job, err
+}
+
+// Pause suspends or resumes the hosted job.
+func (c *FaultClient) Pause(jobID int, paused bool) error {
+	_, err := c.call(request{Kind: reqPause, JobID: jobID, Paused: paused})
+	return err
+}
+
+// Ack clears the agent's completion/revocation staging for ids.
+func (c *FaultClient) Ack(ids []int) error {
+	_, err := c.call(request{Kind: reqAck, Ack: ids})
+	return err
+}
+
+// Close is a no-op for the in-process client.
+func (c *FaultClient) Close() error { return nil }
+
+// sortedInts returns a sorted copy of ids (stable wire and log order).
+func sortedInts(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}

@@ -165,4 +165,12 @@ type AgentStatus struct {
 	JobID       int // -1 when no job is hosted
 	JobProgress float64
 	JobDone     bool
+
+	// Fault-tolerance staging, re-reported every tick until the
+	// coordinator acknowledges (Ack): jobs finished on this agent, and job
+	// state surrendered by a Revoke whose reply may have been lost. The
+	// re-reporting makes completion and revocation survive dropped replies
+	// — the coordinator deduplicates by job ID.
+	Finished []Job // finished since the last acknowledged tick
+	Revoked  []Job // revoked state awaiting acknowledgment, sorted by ID
 }

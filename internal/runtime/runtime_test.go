@@ -161,8 +161,20 @@ func TestAgentRevokePreservesProgress(t *testing.T) {
 	if a.HasJob() {
 		t.Error("agent still hosts a job after revoke")
 	}
+	// The surrendered state stays staged until acknowledged, so a retried
+	// revoke (lost reply) returns the same state instead of failing.
+	again, err := a.Revoke(7)
+	if err != nil {
+		t.Fatalf("retried revoke failed: %v", err)
+	}
+	if again.ID != j.ID || again.Progress != j.Progress {
+		t.Errorf("retried revoke = %+v, want %+v", again, j)
+	}
+	if err := a.Ack([]int{7}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := a.Revoke(7); err == nil {
-		t.Error("double revoke accepted")
+		t.Error("revoke after acknowledgment accepted")
 	}
 }
 

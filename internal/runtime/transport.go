@@ -6,12 +6,24 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"lingerlonger/internal/exp"
+	"lingerlonger/internal/stats"
 )
 
 // The wire protocol: the coordinator holds one TCP connection per agent
 // and exchanges gob-encoded request/response pairs. Calls are strictly
 // sequential per connection, so a TCP-backed cluster behaves identically
 // to an in-process one.
+//
+// Fault tolerance: every logical call carries a sequence number; the agent
+// caches the last response and replays it when the same sequence arrives
+// again, giving retried calls at-most-once execution. The client enforces a
+// per-RPC deadline, maps transport failures to the typed errors of
+// fault.go, redials broken connections, and retries transient failures per
+// its RetryConfig. An optional FaultInjector seam lets tests sever, delay,
+// or garble individual calls deterministically.
 
 // reqKind enumerates the protocol operations.
 type reqKind int
@@ -22,15 +34,18 @@ const (
 	reqRevoke
 	reqPause
 	reqName
+	reqAck
 )
 
 // request is the coordinator-to-agent message.
 type request struct {
+	Seq    uint64 // logical-call sequence number for at-most-once retries
 	Kind   reqKind
 	Dt     float64
 	Job    *Job
 	JobID  int
 	Paused bool
+	Ack    []int
 }
 
 // response is the agent-to-coordinator reply.
@@ -43,7 +58,9 @@ type response struct {
 
 // AgentServer exposes an Agent over a listener. Create with NewAgentServer
 // and stop with Close. Each accepted connection is served by its own
-// goroutine; the underlying Agent is concurrency-safe.
+// goroutine; the underlying Agent is concurrency-safe. A connection that
+// delivers an undecodable request (a corrupt frame) is closed — the
+// coordinator redials and retries — and never takes the server down.
 type AgentServer struct {
 	agent    *Agent
 	listener net.Listener
@@ -89,7 +106,7 @@ func (s *AgentServer) acceptLoop() {
 	}
 }
 
-// serve handles one coordinator connection until EOF.
+// serve handles one coordinator connection until EOF or a corrupt frame.
 func (s *AgentServer) serve(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
@@ -97,27 +114,9 @@ func (s *AgentServer) serve(conn net.Conn) {
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return
+			return // EOF or garbage: drop the connection, keep serving
 		}
-		var resp response
-		switch req.Kind {
-		case reqName:
-			resp.Name = s.agent.Name()
-		case reqTick:
-			st, err := s.agent.Tick(req.Dt)
-			resp.Status = st
-			resp.Err = errString(err)
-		case reqAssign:
-			resp.Err = errString(s.agent.Assign(req.Job))
-		case reqRevoke:
-			j, err := s.agent.Revoke(req.JobID)
-			resp.Job = j
-			resp.Err = errString(err)
-		case reqPause:
-			resp.Err = errString(s.agent.Pause(req.JobID, req.Paused))
-		default:
-			resp.Err = fmt.Sprintf("runtime: unknown request kind %d", req.Kind)
-		}
+		resp := s.agent.Call(req)
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
@@ -131,44 +130,185 @@ func errString(err error) string {
 	return err.Error()
 }
 
-// TCPClient is an AgentClient speaking the gob protocol over one TCP
-// connection. Not safe for concurrent use — matching the coordinator's
-// sequential step loop.
+// TCPClientConfig parameterizes a TCP agent client.
+type TCPClientConfig struct {
+	// Timeout is the per-RPC deadline; a call that exceeds it returns an
+	// error wrapping ErrAgentTimeout. Zero disables the deadline.
+	Timeout time.Duration
+	// Retry bounds the internal retry loop around transient failures.
+	Retry RetryConfig
+	// Injector, when non-nil, decides the fate of each network attempt
+	// (the deterministic fault seam). Injected faults never desynchronize
+	// the real gob stream: drop-reply and corrupt verdicts complete the
+	// exchange and then discard the reply.
+	Injector FaultInjector
+	// Counters, when non-nil, tallies transport events.
+	Counters *FaultCounters
+}
+
+// DefaultTCPClientConfig returns a 5-second per-RPC deadline with the
+// default retry policy.
+func DefaultTCPClientConfig() TCPClientConfig {
+	return TCPClientConfig{Timeout: 5 * time.Second, Retry: DefaultRetryConfig()}
+}
+
+// TCPClient is an AgentClient speaking the gob protocol over TCP. Not safe
+// for concurrent use — matching the coordinator's sequential step loop. A
+// connection poisoned by a timeout or a corrupt frame is closed and
+// redialed on the next attempt.
 type TCPClient struct {
 	name string
+	addr string
+	cfg  TCPClientConfig
+	rng  *stats.RNG
+	seq  uint64
+
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 }
 
-// DialAgent connects to an AgentServer at addr.
+// DialAgent connects to an AgentServer at addr with the default client
+// config (5 s deadline, three attempts).
 func DialAgent(addr string) (*TCPClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialAgentConfig(addr, DefaultTCPClientConfig())
+}
+
+// DialAgentConfig connects to an AgentServer at addr.
+func DialAgentConfig(addr string, cfg TCPClientConfig) (*TCPClient, error) {
+	c := &TCPClient{
+		addr: addr,
+		cfg:  cfg,
+		rng:  stats.NewRNG(exp.DeriveSeed(cfg.Retry.Seed, 0)),
+	}
+	if err := c.redial(); err != nil {
 		return nil, err
 	}
-	c := &TCPClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	resp, err := c.call(request{Kind: reqName})
+	// The name handshake bypasses fault injection: the seam models the
+	// steady-state network, not cluster bring-up.
+	resp, err := c.exchange(request{Seq: c.nextSeq(), Kind: reqName})
 	if err != nil {
-		conn.Close()
+		c.dropConn()
 		return nil, err
 	}
 	c.name = resp.Name
 	return c, nil
 }
 
-func (c *TCPClient) call(req request) (response, error) {
+func (c *TCPClient) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// redial (re)establishes the connection.
+func (c *TCPClient) redial() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("runtime: dial %s: %v: %w", c.addr, err, ErrAgentDown)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// dropConn poisons the current connection so the next attempt redials.
+func (c *TCPClient) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.enc, c.dec = nil, nil
+	}
+}
+
+// exchange performs one request/response round trip on the wire, mapping
+// failures to the typed transport errors. Any wire error poisons the
+// connection: a gob stream that lost a frame boundary cannot be resumed.
+func (c *TCPClient) exchange(req request) (response, error) {
+	if c.conn == nil {
+		if err := c.redial(); err != nil {
+			return response{}, err
+		}
+	}
+	if c.cfg.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	}
 	if err := c.enc.Encode(&req); err != nil {
-		return response{}, fmt.Errorf("runtime: send to %s: %w", c.name, err)
+		c.dropConn()
+		return response{}, fmt.Errorf("runtime: send to %s: %v: %w", c.target(), err, wireErr(err))
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
-		return response{}, fmt.Errorf("runtime: receive from %s: %w", c.name, err)
+		c.dropConn()
+		return response{}, fmt.Errorf("runtime: receive from %s: %v: %w", c.target(), err, wireErr(err))
 	}
 	if resp.Err != "" {
 		return resp, errors.New(resp.Err)
 	}
 	return resp, nil
+}
+
+// wireErr classifies a raw wire error as a typed transport error.
+func wireErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ErrAgentTimeout
+	}
+	return ErrAgentDown
+}
+
+func (c *TCPClient) target() string {
+	if c.name != "" {
+		return c.name
+	}
+	return c.addr
+}
+
+// call runs one logical operation: stamp a sequence number once, then
+// retry transient failures with the same sequence so the server-side dedup
+// cache guarantees at-most-once execution.
+func (c *TCPClient) call(req request) (response, error) {
+	req.Seq = c.nextSeq()
+	return invokeRetry(c.cfg.Retry, c.rng, c.cfg.Counters, func() (response, error) {
+		action := FaultNone
+		if c.cfg.Injector != nil {
+			action = c.cfg.Injector.Next(c.target(), req.Kind)
+		}
+		switch action {
+		case FaultDropSend:
+			if c.cfg.Counters != nil {
+				c.cfg.Counters.DroppedSends++
+				c.cfg.Counters.Timeouts++
+			}
+			return response{}, fmt.Errorf("request to %s lost: %w", c.target(), ErrAgentTimeout)
+		case FaultDropReply, FaultDelay, FaultCorrupt:
+			// Complete the real exchange to keep the gob stream in sync,
+			// then lose the reply.
+			if _, err := c.exchange(req); err != nil && IsTransient(err) {
+				return response{}, err
+			}
+			if action == FaultCorrupt {
+				if c.cfg.Counters != nil {
+					c.cfg.Counters.CorruptFrames++
+				}
+				return response{}, fmt.Errorf("reply from %s garbled: %w", c.target(), ErrCorruptFrame)
+			}
+			if c.cfg.Counters != nil {
+				if action == FaultDelay {
+					c.cfg.Counters.Delays++
+				} else {
+					c.cfg.Counters.DroppedReplies++
+				}
+				c.cfg.Counters.Timeouts++
+			}
+			return response{}, fmt.Errorf("reply from %s lost: %w", c.target(), ErrAgentTimeout)
+		}
+		resp, err := c.exchange(req)
+		if err != nil && IsTransient(err) && c.cfg.Counters != nil {
+			c.cfg.Counters.Timeouts++
+		}
+		return resp, err
+	})
 }
 
 // Name returns the remote agent's name.
@@ -198,5 +338,18 @@ func (c *TCPClient) Pause(jobID int, paused bool) error {
 	return err
 }
 
+// Ack clears the remote agent's completion/revocation staging for ids.
+func (c *TCPClient) Ack(ids []int) error {
+	_, err := c.call(request{Kind: reqAck, Ack: ids})
+	return err
+}
+
 // Close closes the connection.
-func (c *TCPClient) Close() error { return c.conn.Close() }
+func (c *TCPClient) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,10 +1,18 @@
 package runtime
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"net"
+	"reflect"
+	"strconv"
 	"testing"
+	"time"
 
 	"lingerlonger/internal/core"
+	"lingerlonger/internal/exp"
+	"lingerlonger/internal/stats"
 )
 
 // startTCPAgents serves n agents on loopback listeners and returns
@@ -148,5 +156,338 @@ func TestDialAgentFailsOnDeadAddress(t *testing.T) {
 	l.Close()
 	if _, err := DialAgent(addr); err == nil {
 		t.Error("dial to a closed listener succeeded")
+	}
+}
+
+// randomJob draws a random but valid job from rng.
+func randomJob(rng *stats.RNG) Job {
+	return Job{
+		ID:          rng.Intn(1000),
+		DemandS:     1 + 100*rng.Float64(),
+		SizeMB:      64 * rng.Float64(),
+		Progress:    50 * rng.Float64(),
+		SubmittedAt: 1000 * rng.Float64(),
+	}
+}
+
+// randomJobs draws 1..n random jobs (never an empty slice: gob decodes an
+// encoded empty slice as nil, which is equal on the wire but not under
+// reflect.DeepEqual).
+func randomJobs(rng *stats.RNG, n int) []Job {
+	out := make([]Job, 1+rng.Intn(n))
+	for i := range out {
+		out[i] = randomJob(rng)
+	}
+	return out
+}
+
+// Property test: randomized requests and responses — including the
+// fault-tolerance staging slices — survive a gob round trip losslessly.
+func TestGobRoundTripProperty(t *testing.T) {
+	rng := stats.NewRNG(exp.DeriveSeed(1234, 0))
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+
+	for i := 0; i < 200; i++ {
+		req := request{
+			Seq:    uint64(rng.Int63()),
+			Kind:   reqKind(rng.Intn(int(reqAck) + 1)),
+			Dt:     rng.Float64(),
+			JobID:  rng.Intn(100),
+			Paused: rng.Bool(0.5),
+		}
+		if rng.Bool(0.5) {
+			j := randomJob(rng)
+			req.Job = &j
+		}
+		if rng.Bool(0.5) {
+			ids := make([]int, 1+rng.Intn(4))
+			for k := range ids {
+				ids[k] = rng.Intn(100)
+			}
+			req.Ack = ids
+		}
+		if err := enc.Encode(&req); err != nil {
+			t.Fatalf("iteration %d: encode request: %v", i, err)
+		}
+		var gotReq request
+		if err := dec.Decode(&gotReq); err != nil {
+			t.Fatalf("iteration %d: decode request: %v", i, err)
+		}
+		if !reflect.DeepEqual(req, gotReq) {
+			t.Fatalf("iteration %d: request round trip lost data:\nsent %+v\ngot  %+v", i, req, gotReq)
+		}
+
+		resp := response{
+			Status: AgentStatus{
+				Name:        "w" + strconv.Itoa(rng.Intn(10)),
+				Idle:        rng.Bool(0.5),
+				Util:        rng.Float64(),
+				FreeMB:      64 * rng.Float64(),
+				EpisodeAge:  100 * rng.Float64(),
+				EpisodeUtil: rng.Float64(),
+				JobID:       rng.Intn(100) - 1,
+				JobProgress: 50 * rng.Float64(),
+				JobDone:     rng.Bool(0.3),
+			},
+			Name: "w" + strconv.Itoa(rng.Intn(10)),
+			Err:  "",
+		}
+		if rng.Bool(0.5) {
+			resp.Status.Finished = randomJobs(rng, 3)
+		}
+		if rng.Bool(0.5) {
+			resp.Status.Revoked = randomJobs(rng, 3)
+		}
+		if rng.Bool(0.5) {
+			j := randomJob(rng)
+			resp.Job = &j
+		}
+		if rng.Bool(0.2) {
+			resp.Err = "agent rejected the call"
+		}
+		if err := enc.Encode(&resp); err != nil {
+			t.Fatalf("iteration %d: encode response: %v", i, err)
+		}
+		var gotResp response
+		if err := dec.Decode(&gotResp); err != nil {
+			t.Fatalf("iteration %d: decode response: %v", i, err)
+		}
+		if !reflect.DeepEqual(resp, gotResp) {
+			t.Fatalf("iteration %d: response round trip lost data:\nsent %+v\ngot  %+v", i, resp, gotResp)
+		}
+	}
+}
+
+// A connection that feeds the server garbage must be dropped without
+// taking the server down: the next dial and call succeed.
+func TestServerSurvivesGarbageFrames(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewAgentServer(NewAgent("w1", quietOwner(t), 64), l)
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete 3-byte frame whose payload is not valid gob: the server's
+	// decoder fails immediately rather than waiting for more bytes.
+	if _, err := raw.Write([]byte{0x03, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close this connection rather than reply or hang.
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Error("server replied to a garbage frame")
+	}
+	raw.Close()
+
+	c, err := DialAgent(srv.Addr().String())
+	if err != nil {
+		t.Fatalf("server did not survive the garbage frame: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Tick(1); err != nil {
+		t.Errorf("tick after garbage frame: %v", err)
+	}
+}
+
+// fakeAgentServer speaks just enough of the protocol to complete the
+// DialAgent name handshake, then hands each subsequent request to behave.
+func fakeAgentServer(t *testing.T, behave func(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, req request) bool) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					if req.Kind == reqName {
+						if err := enc.Encode(&response{Name: "fake"}); err != nil {
+							return
+						}
+						continue
+					}
+					if !behave(conn, dec, enc, req) {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l
+}
+
+// A truncated reply frame must surface as a clean typed error — never a
+// panic or a hang.
+func TestTruncatedReplyFrameCleanError(t *testing.T) {
+	l := fakeAgentServer(t, func(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, req request) bool {
+		conn.Write([]byte{0x03, 0x01, 0x02}) // a partial gob frame
+		return false                         // then close the connection
+	})
+	cfg := DefaultTCPClientConfig()
+	cfg.Retry.MaxAttempts = 1
+	c, err := DialAgentConfig(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Tick(1)
+	if !errors.Is(err, ErrAgentDown) {
+		t.Errorf("Tick over truncated reply = %v, want ErrAgentDown", err)
+	}
+	if !IsTransient(err) {
+		t.Errorf("truncated-frame error not classified transient: %v", err)
+	}
+}
+
+// A server that accepts a request but never replies must trip the per-RPC
+// deadline as ErrAgentTimeout.
+func TestTCPDeadlineReturnsTypedTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	t.Cleanup(func() { close(stall) })
+	l := fakeAgentServer(t, func(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, req request) bool {
+		<-stall // swallow the request, never reply
+		return false
+	})
+	cfg := DefaultTCPClientConfig()
+	cfg.Timeout = 50 * time.Millisecond
+	cfg.Retry.MaxAttempts = 2
+	c, err := DialAgentConfig(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	counters := &FaultCounters{}
+	c.cfg.Counters = counters
+	if _, err := c.Tick(1); !errors.Is(err, ErrAgentTimeout) {
+		t.Errorf("Tick against a stalled server = %v, want ErrAgentTimeout", err)
+	}
+	if counters.Timeouts == 0 {
+		t.Error("deadline trip not counted")
+	}
+}
+
+// At-most-once over the real TCP transport: a dropped reply plus retry
+// must not execute the tick twice, because the server replays the cached
+// response for the repeated sequence number.
+func TestTCPAtMostOnceOnDroppedReply(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent("w1", quietOwner(t), 64)
+	srv := NewAgentServer(agent, l)
+	defer srv.Close()
+
+	cfg := DefaultTCPClientConfig()
+	cfg.Injector = newScriptInjector(func(target string, kind reqKind, n, kn int) FaultAction {
+		if kind == reqTick && kn == 0 {
+			return FaultDropReply
+		}
+		return FaultNone
+	})
+	c, err := DialAgentConfig(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agent.Now(); got != 1 {
+		t.Errorf("agent clock at %g after one logical tick, want 1 (retry double-executed)", got)
+	}
+	if st.Name != "w1" {
+		t.Errorf("replayed status = %+v", st)
+	}
+}
+
+// Every injected fault kind over the real TCP transport: the retry loop
+// absorbs each one, the gob stream never desynchronizes, and the counters
+// record the events.
+func TestTCPInjectorAllActions(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent("w1", quietOwner(t), 64)
+	srv := NewAgentServer(agent, l)
+	defer srv.Close()
+
+	cfg := DefaultTCPClientConfig()
+	counters := &FaultCounters{}
+	cfg.Counters = counters
+	cfg.Injector = newScriptInjector(func(target string, kind reqKind, n, kn int) FaultAction {
+		if kn != 0 {
+			return FaultNone
+		}
+		switch kind {
+		case reqAssign:
+			return FaultDropSend
+		case reqPause:
+			return FaultDelay
+		case reqRevoke:
+			return FaultCorrupt
+		case reqAck:
+			return FaultDropReply
+		}
+		return FaultNone
+	})
+	c, err := DialAgentConfig(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Assign(&Job{ID: 1, DemandS: 5, SizeMB: 8}); err != nil {
+		t.Fatalf("assign through drop-send: %v", err)
+	}
+	if err := c.Pause(1, true); err != nil {
+		t.Fatalf("pause through delay: %v", err)
+	}
+	if err := c.Pause(1, false); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Revoke(1)
+	if err != nil {
+		t.Fatalf("revoke through corrupt: %v", err)
+	}
+	if j.ID != 1 {
+		t.Errorf("revoked job = %+v", j)
+	}
+	if err := c.Ack([]int{1}); err != nil {
+		t.Fatalf("ack through drop-reply: %v", err)
+	}
+	if counters.DroppedSends != 1 || counters.Delays != 1 || counters.CorruptFrames != 1 || counters.DroppedReplies != 1 {
+		t.Errorf("counters = %+v", counters)
+	}
+	if counters.Retries != 4 {
+		t.Errorf("retries = %d, want 4", counters.Retries)
+	}
+	// The at-most-once cache means the delayed Pause did not pause twice
+	// and the corrupted Revoke surrendered exactly one copy.
+	if agent.HasJob() {
+		t.Error("agent still hosts the revoked job")
 	}
 }
