@@ -186,7 +186,7 @@ func BenchmarkFig8StateBreakdown(b *testing.B) {
 func BenchmarkFig9ParallelSlowdown(b *testing.B) {
 	var at90 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := parallel.Fig9(int64(i+1), 0)
+		pts, err := parallel.Fig9(nil, int64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +200,7 @@ func BenchmarkFig9ParallelSlowdown(b *testing.B) {
 func BenchmarkFig10SyncGranularity(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		pts, err := parallel.Fig10(int64(i+1), 0)
+		pts, err := parallel.Fig10(nil, int64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -243,7 +243,7 @@ func BenchmarkFig11Reconfig(b *testing.B) {
 func BenchmarkFig12AppSlowdown(b *testing.B) {
 	var sor8 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := apps.Fig12(int64(i+1), 0)
+		pts, err := apps.Fig12(nil, int64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,6 +7,8 @@
 //
 //	experiments [-seed 1] [-quick] [-out EXPERIMENTS.md]
 //	            [-workers 0] [-json results.json] [-timing]
+//	            [-checkpoint DIR | -resume DIR] [-failsoft]
+//	            [-retries 0] [-point-timeout 0]
 //
 // -quick shrinks the trace corpus and durations for a fast smoke run.
 // -workers sets the sweep worker-pool size (0 = GOMAXPROCS); every sweep
@@ -15,6 +17,15 @@
 // seed and the corpus config as JSON; the file is byte-identical for any
 // -workers value unless -timing also embeds (machine-dependent)
 // wall-clock figures.
+//
+// -checkpoint DIR persists every completed sweep point to DIR (creating
+// or resuming it); -resume DIR additionally requires DIR to hold a
+// matching run. Because each point is a pure function of (seed, sweep,
+// index), a resumed run's output is byte-identical to an uninterrupted
+// one. -failsoft finishes the run even when points fail: failed points
+// report zero values, a failure manifest names them, and the exit code is
+// 3 (see DESIGN.md §10). Exit codes: 0 success, 1 runtime failure,
+// 2 usage error, 3 partial results.
 package main
 
 import (
@@ -24,9 +35,13 @@ import (
 	"log"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"lingerlonger/internal/apps"
+	"lingerlonger/internal/checkpoint"
+	"lingerlonger/internal/cli"
 	"lingerlonger/internal/cluster"
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
@@ -40,7 +55,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	cli.Run("experiments", realMain)
+}
 
+func realMain() error {
 	var (
 		seed    = flag.Int64("seed", 1, "master seed")
 		quick   = flag.Bool("quick", false, "smaller corpus and durations")
@@ -48,43 +66,90 @@ func main() {
 		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		jsonOut = flag.String("json", "", "also write machine-readable results to this file")
 		timing  = flag.Bool("timing", false, "embed wall-clock per figure in the JSON (machine-dependent; breaks byte-stable diffs)")
+
+		ckptDir    = flag.String("checkpoint", "", "checkpoint completed sweep points into this directory (created or resumed)")
+		resumeDir  = flag.String("resume", "", "resume a checkpointed run from this directory (must exist and match seed/config)")
+		failSoft   = flag.Bool("failsoft", false, "finish the run despite failed sweep points; exit 3 with a failure manifest")
+		retries    = flag.Int("retries", 0, "extra attempts per sweep point after a transient failure")
+		pointTO    = flag.Duration("point-timeout", 0, "per-point watchdog deadline (0 = none)")
+		crashAfter = flag.Int("crashafter", 0, "TESTING: abort after N checkpoint saves, simulating a mid-run kill")
+		faultPoint = flag.String("faultpoint", "", "TESTING: inject a fault at sweep:index:mode (mode: panic, error, flaky, hang)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
+	if *ckptDir != "" && *resumeDir != "" {
+		return cli.Usagef("-checkpoint and -resume are mutually exclusive; -resume already checkpoints")
+	}
+	if *retries < 0 {
+		return cli.Usagef("-retries must be >= 0, got %d", *retries)
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 
-	opts := options{Seed: *seed, Quick: *quick, Workers: *workers, Timing: *timing, JSON: *jsonOut != ""}
-	rep, err := run(opts, w)
-	if err != nil {
-		log.Fatal(err)
+	opts := options{
+		Seed: *seed, Quick: *quick, Workers: *workers, Timing: *timing, JSON: *jsonOut != "",
+		Checkpoint: *ckptDir, Resume: *resumeDir, FailSoft: *failSoft,
+		Retries: *retries, PointTimeout: *pointTO,
+		CrashAfter: *crashAfter, FaultPoint: *faultPoint,
 	}
-	if *jsonOut != "" {
-		if err := writeReport(rep, *jsonOut); err != nil {
-			log.Fatal(err)
+	rep, err := run(opts, w)
+	if rep != nil && *jsonOut != "" {
+		// Partial (fail-soft) results are still written; the exit code and
+		// the failure manifest carry the signal.
+		if werr := writeReport(rep, *jsonOut); werr != nil && err == nil {
+			err = werr
 		}
 	}
+	return err
 }
 
 // options collects the command-line switches in a form run can be called
-// with directly (the determinism test drives run without a process).
+// with directly (the determinism and resume tests drive run without a
+// process).
 type options struct {
 	Seed    int64
 	Quick   bool
 	Workers int  // sweep pool size; <= 0 selects GOMAXPROCS
 	Timing  bool // embed wall-clock in the JSON report
 	JSON    bool // collect the JSON report at all
+
+	Checkpoint   string        // checkpoint dir (created or resumed); "" = off
+	Resume       string        // like Checkpoint, but the run must already exist
+	FailSoft     bool          // finish despite failed points; exit 3
+	Retries      int           // extra attempts per point
+	PointTimeout time.Duration // per-point watchdog deadline; 0 = none
+
+	CrashAfter int    // testing: fail checkpoint saves after this many succeed
+	FaultPoint string // testing: "sweep:index:mode" fault injection
+
+	// StatsOut, when non-nil, receives the runner's counters after the
+	// run — the resume tests assert Restored > 0 through it.
+	StatsOut *exp.Stats
+}
+
+// fingerprint returns the checkpoint Meta config string: every
+// result-determining parameter except the seed (which Meta carries
+// separately). Workers, retries and timeouts are execution details that
+// never change a result, so they are deliberately absent — a run may be
+// resumed with different parallelism.
+func (o options) fingerprint(machines, days int, tpDur float64) string {
+	return fmt.Sprintf("quick=%t machines=%d days=%d tpdur=%g", o.Quick, machines, days, tpDur)
 }
 
 // run executes every experiment, writes the Markdown report to w, and
-// returns the JSON report (nil Figures when opts.JSON is false).
+// returns the JSON report (nil Figures when opts.JSON is false). In
+// fail-soft mode a run with failed points returns the report AND an error
+// wrapping cli.ErrPartial; every other error is fatal.
 func run(opts options, w io.Writer) (*Report, error) {
 	machines, days := 16, 7
 	tpDur := 3600.0
@@ -93,8 +158,42 @@ func run(opts options, w io.Writer) (*Report, error) {
 		tpDur = 900
 	}
 
+	runner := exp.NewRunner(opts.Workers)
+	runner.Attempts = opts.Retries + 1
+	runner.Timeout = opts.PointTimeout
+	runner.FailSoft = opts.FailSoft
+	if opts.FaultPoint != "" {
+		hook, err := parseFaultPoint(opts.FaultPoint)
+		if err != nil {
+			return nil, err
+		}
+		runner.FaultHook = hook
+	}
+
+	var ckpt *checkpoint.Run
+	if dir := opts.Checkpoint; dir != "" || opts.Resume != "" {
+		meta := checkpoint.Meta{
+			Schema: checkpoint.SchemaVersion,
+			Seed:   opts.Seed,
+			Config: opts.fingerprint(machines, days, tpDur),
+		}
+		var err error
+		if opts.Resume != "" {
+			ckpt, err = checkpoint.Open(opts.Resume, meta)
+		} else {
+			ckpt, err = checkpoint.OpenOrCreate(dir, meta)
+		}
+		if err != nil {
+			return nil, err
+		}
+		runner.Store = ckpt
+		if opts.CrashAfter > 0 {
+			ckpt.FailAfter(opts.CrashAfter, nil)
+		}
+	}
+
 	start := time.Now()
-	r := &reporter{w: w, seed: opts.Seed, workers: opts.Workers}
+	r := &reporter{w: w, seed: opts.Seed, workers: opts.Workers, runner: runner}
 	if opts.JSON {
 		r.report = &Report{
 			SchemaVersion: 1,
@@ -163,13 +262,88 @@ func run(opts options, w io.Writer) (*Report, error) {
 	if r.report != nil && opts.Timing {
 		r.report.TotalWallMS = float64(total.Microseconds()) / 1000
 	}
+
+	st := runner.Stats()
+	if opts.StatsOut != nil {
+		*opts.StatsOut = st
+	}
+	if st.Restored > 0 || st.Retried > 0 {
+		log.Printf("sweep points: %d computed, %d restored from checkpoint, %d retried",
+			st.Computed, st.Restored, st.Retried)
+	}
+
+	fails := runner.Failures()
+	if r.report != nil {
+		r.report.Failures = failureManifest(fails)
+	}
+	if ckpt != nil {
+		// Persist (or, after a clean run, clear) the failure manifest.
+		if err := ckpt.WriteFailures(failureManifest(fails)); err != nil {
+			return r.report, err
+		}
+	}
+	if len(fails) > 0 {
+		return r.report, fmt.Errorf("%d sweep point(s) failed, first %s[%d]: %v: %w",
+			len(fails), fails[0].Sweep, fails[0].Index, fails[0].Err, cli.ErrPartial)
+	}
 	return r.report, nil
+}
+
+// failureManifest converts runner failures to the checkpoint manifest
+// entries (also embedded in the JSON report).
+func failureManifest(fails []*exp.PointError) []checkpoint.Failure {
+	out := make([]checkpoint.Failure, 0, len(fails))
+	for _, f := range fails {
+		out = append(out, checkpoint.Failure{
+			Sweep: f.Sweep, Index: f.Index, Attempts: f.Attempts, Error: f.Err.Error(),
+		})
+	}
+	return out
+}
+
+// parseFaultPoint builds the test-only fault-injection hook from a
+// "sweep:index:mode" spec. The fault fires on every attempt of the
+// matching point, so retries cannot mask it.
+func parseFaultPoint(spec string) (func(sweep string, index, attempt int) error, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, cli.Usagef("-faultpoint %q: want sweep:index:mode", spec)
+	}
+	sweep, mode := parts[0], parts[2]
+	index, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, cli.Usagef("-faultpoint %q: bad index %q", spec, parts[1])
+	}
+	switch mode {
+	case "panic", "error", "flaky", "hang":
+	default:
+		return nil, cli.Usagef("-faultpoint %q: unknown mode %q (want panic, error, flaky or hang)", spec, mode)
+	}
+	return func(s string, i, attempt int) error {
+		if s != sweep || i != index {
+			return nil
+		}
+		switch mode {
+		case "panic":
+			panic(fmt.Sprintf("injected fault at %s[%d] (attempt %d)", s, i, attempt))
+		case "hang":
+			select {} // runaway point; only the watchdog can abandon it
+		case "flaky":
+			if attempt > 1 {
+				return nil // healed by -retries
+			}
+			return fmt.Errorf("injected flaky fault at %s[%d] (attempt %d)", s, i, attempt)
+		default:
+			return fmt.Errorf("injected fault at %s[%d] (attempt %d)", s, i, attempt)
+		}
+	}, nil
 }
 
 type reporter struct {
 	w       io.Writer
 	seed    int64
 	workers int
+	runner  *exp.Runner
 	report  *Report // nil when -json is off
 }
 
@@ -305,7 +479,7 @@ func (r *reporter) fig7and8(corpus []*trace.Trace, tpDur float64) error {
 			cfg = cluster.Workload2(0)
 		}
 		cfg.Seed = r.seed
-		cfg.Workers = r.workers
+		cfg.Exec = r.runner.Named(fmt.Sprintf("wl%d", wl))
 		rows, err := cluster.Fig7(cfg, corpus, tpDur)
 		if err != nil {
 			return err
@@ -329,10 +503,17 @@ func (r *reporter) fig7and8(corpus []*trace.Trace, tpDur float64) error {
 		// task per policy (each simulation seeds itself from the config).
 		fmt.Fprintf(r.w, "Figure 8 state breakdown (avg seconds per job):\n\n")
 		fmt.Fprintf(r.w, "| policy | queued | running | lingering | paused | migrating |\n|---|---|---|---|---|---|\n")
-		results, err := exp.Map(r.workers, len(core.Policies), func(i int) (*cluster.Result, error) {
+		results, err := exp.RunSweep(cfg.Exec, "fig8", len(core.Policies), func(i int) (cluster.Result, error) {
 			c := cfg
 			c.Policy = core.Policies[i]
-			return cluster.Run(c, corpus)
+			c.Exec = nil
+			res, err := cluster.Run(c, corpus)
+			if err != nil {
+				return cluster.Result{}, err
+			}
+			out := *res
+			out.Jobs = nil // metrics only; keep checkpoint snapshots small
+			return out, nil
 		})
 		if err != nil {
 			return err
@@ -356,7 +537,7 @@ func (r *reporter) fig7and8(corpus []*trace.Trace, tpDur float64) error {
 
 func (r *reporter) fig9() error {
 	r.section("E7 — Figure 9: BSP slowdown vs. local utilization")
-	pts, err := parallel.Fig9(r.seed, r.workers)
+	pts, err := parallel.Fig9(r.runner, r.seed)
 	if err != nil {
 		return err
 	}
@@ -375,7 +556,7 @@ func (r *reporter) fig9() error {
 
 func (r *reporter) fig10() error {
 	r.section("E8 — Figure 10: slowdown vs. synchronization granularity")
-	pts, err := parallel.Fig10(r.seed, r.workers)
+	pts, err := parallel.Fig10(r.runner, r.seed)
 	if err != nil {
 		return err
 	}
@@ -405,7 +586,7 @@ func (r *reporter) fig11() error {
 	r.section("E9 — Figure 11: linger vs. reconfiguration (synthetic, 32 nodes)")
 	cfg := parallel.DefaultReconfigConfig()
 	cfg.Seed = r.seed
-	cfg.Workers = r.workers
+	cfg.Exec = r.runner
 	pts, err := parallel.Fig11(cfg)
 	if err != nil {
 		return err
@@ -431,7 +612,7 @@ func (r *reporter) fig11() error {
 
 func (r *reporter) fig12() error {
 	r.section("E10 — Figure 12: application slowdowns (8-node cluster)")
-	pts, err := apps.Fig12(r.seed, r.workers)
+	pts, err := apps.Fig12(r.runner, r.seed)
 	if err != nil {
 		return err
 	}
@@ -467,7 +648,7 @@ func (r *reporter) fig13() error {
 	r.section("E11 — Figure 13: applications, linger vs. reconfiguration (16 nodes)")
 	cfg := apps.DefaultFig13Config()
 	cfg.Seed = r.seed
-	cfg.Workers = r.workers
+	cfg.Exec = r.runner
 	pts, err := apps.Fig13(cfg)
 	if err != nil {
 		return err
@@ -504,14 +685,18 @@ func (r *reporter) arrivals(corpus []*trace.Trace) error {
 	policies := []core.Policy{core.LingerLonger, core.ImmediateEviction}
 	// One pool task per (rate, policy) pair; each open-system run seeds
 	// itself from its config, so the fan-out cannot change results.
-	results, err := exp.Map(r.workers, len(rates)*len(policies), func(i int) (*cluster.ArrivalsResult, error) {
+	results, err := exp.RunSweep(r.runner, "arrivals", len(rates)*len(policies), func(i int) (cluster.ArrivalsResult, error) {
 		cfg := cluster.ArrivalsConfig{
 			Cluster:  cluster.Workload1(policies[i%len(policies)]),
 			Rate:     rates[i/len(policies)],
 			Duration: 3600,
 		}
 		cfg.Cluster.Seed = r.seed
-		return cluster.RunArrivals(cfg, corpus)
+		res, err := cluster.RunArrivals(cfg, corpus)
+		if err != nil {
+			return cluster.ArrivalsResult{}, err
+		}
+		return *res, nil
 	})
 	if err != nil {
 		return err
@@ -539,7 +724,7 @@ func (r *reporter) hybrid() error {
 	r.section("X2 — Extension: the hybrid linger/reconfiguration scheduler")
 	cfg := apps.DefaultFig13Config()
 	cfg.Seed = r.seed
-	cfg.Workers = r.workers
+	cfg.Exec = r.runner
 	pts, err := apps.FigHybrid(cfg)
 	if err != nil {
 		return err

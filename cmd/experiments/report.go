@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+
+	"lingerlonger/internal/checkpoint"
 )
 
 // The JSON report is the machine-readable twin of the Markdown report: the
@@ -30,6 +32,10 @@ type Report struct {
 	Config RunConfig `json:"config"`
 	// Figures holds one entry per experiment, in report order.
 	Figures []Figure `json:"figures"`
+	// Failures lists the sweep points that failed in a fail-soft run
+	// (absent from healthy runs, keeping their bytes unchanged). Points
+	// belonging to a failed sweep index carry zero values.
+	Failures []checkpoint.Failure `json:"failures,omitempty"`
 	// TotalWallMS is the whole run's wall-clock (with -timing only).
 	TotalWallMS float64 `json:"total_wall_ms,omitempty"`
 }

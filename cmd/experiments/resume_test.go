@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"lingerlonger/internal/checkpoint"
+	"lingerlonger/internal/cli"
+	"lingerlonger/internal/exp"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report under testdata/")
+
+// TestKillAndResumeByteIdentical is the tentpole acceptance test: a run
+// killed mid-sweep (via the checkpoint layer's injected crash, which
+// leaves exactly the on-disk state a real kill would) and then resumed
+// must emit byte-identical Markdown and JSON to an uninterrupted run —
+// for both a serial and a parallel pool.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			base := options{Seed: 1, Quick: true, Workers: workers, JSON: true}
+
+			var refMD bytes.Buffer
+			refRep, err := run(base, &refMD)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			refJSON, err := marshalReport(refRep)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// First attempt: checkpoint to dir, crash after 10 saves.
+			dir := filepath.Join(t.TempDir(), "ckpt")
+			crash := base
+			crash.Checkpoint = dir
+			crash.CrashAfter = 10
+			if _, err := run(crash, io.Discard); !errors.Is(err, checkpoint.ErrInjectedCrash) {
+				t.Fatalf("crashed run: err = %v, want ErrInjectedCrash", err)
+			}
+
+			// Second attempt: resume from the partial checkpoint.
+			var st exp.Stats
+			resume := base
+			resume.Resume = dir
+			resume.StatsOut = &st
+			var resMD bytes.Buffer
+			resRep, err := run(resume, &resMD)
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			resJSON, err := marshalReport(resRep)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if st.Restored == 0 {
+				t.Error("resume restored no points; the crash left no checkpoint to use")
+			}
+			if st.Computed == 0 {
+				t.Error("resume computed no points; the crash test is vacuous")
+			}
+			if !bytes.Equal(refJSON, resJSON) {
+				t.Errorf("resumed JSON differs from the uninterrupted run:\n%s",
+					firstDiff(string(refJSON), string(resJSON)))
+			}
+			if stripFooter(refMD.String()) != stripFooter(resMD.String()) {
+				t.Errorf("resumed Markdown differs from the uninterrupted run:\n%s",
+					firstDiff(stripFooter(refMD.String()), stripFooter(resMD.String())))
+			}
+		})
+	}
+}
+
+// TestResumeRefusesMismatchedRun guards against silently mixing snapshots
+// from a different seed into a resumed run.
+func TestResumeRefusesMismatchedRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	crash := options{Seed: 1, Quick: true, Workers: 4, Checkpoint: dir, CrashAfter: 5}
+	if _, err := run(crash, io.Discard); !errors.Is(err, checkpoint.ErrInjectedCrash) {
+		t.Fatalf("crashed run: %v", err)
+	}
+	bad := options{Seed: 2, Quick: true, Workers: 4, Resume: dir}
+	_, err := run(bad, io.Discard)
+	var mm *checkpoint.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("resume with a different seed: err = %v, want *MismatchError", err)
+	}
+}
+
+// TestFailSoftCompletesAroundFaultedPoint is the fail-soft acceptance
+// test: with an injected panic at one sweep point, the run must still
+// complete, report partial results with a failure manifest naming the
+// point, exit via cli.ErrPartial, and leak no goroutines.
+func TestFailSoftCompletesAroundFaultedPoint(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	opts := options{
+		Seed: 1, Quick: true, Workers: 8, JSON: true,
+		FailSoft:   true,
+		FaultPoint: "fig9:2:panic",
+		Checkpoint: dir,
+	}
+	rep, err := run(opts, io.Discard)
+	if !errors.Is(err, cli.ErrPartial) {
+		t.Fatalf("err = %v, want cli.ErrPartial", err)
+	}
+	if rep == nil {
+		t.Fatal("fail-soft run returned no report")
+	}
+
+	// The failure manifest must name the faulted point, in the report...
+	if len(rep.Failures) != 1 || rep.Failures[0].Sweep != "fig9" || rep.Failures[0].Index != 2 {
+		t.Errorf("report failures = %+v, want exactly fig9[2]", rep.Failures)
+	}
+	// ... and on disk, next to the checkpoint.
+	onDisk, derr := checkpoint.ReadFailures(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(onDisk) != 1 || onDisk[0].Sweep != "fig9" || onDisk[0].Index != 2 {
+		t.Errorf("disk failures = %+v, want exactly fig9[2]", onDisk)
+	}
+
+	// Every figure still reports data (the failed point is zero-valued,
+	// not dropped, so downstream shapes stay aligned).
+	if len(rep.Figures) != 13 {
+		t.Errorf("report has %d figures, want 13", len(rep.Figures))
+	}
+	for _, f := range rep.Figures {
+		if len(f.Points) == 0 {
+			t.Errorf("figure %q has no points", f.ID)
+		}
+	}
+
+	waitForGoroutineBaseline(t, baseline)
+}
+
+// TestFailSoftRetrySucceedsOnFlakyPoint: a fault that fires only on the
+// first attempt is healed by -retries and never surfaces as a failure.
+func TestFailSoftRetrySucceedsOnFlakyPoint(t *testing.T) {
+	base := options{Seed: 1, Quick: true, Workers: 4, JSON: true}
+	refRep, err := run(base, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := marshalReport(refRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flaky := base
+	flaky.Retries = 2
+	flaky.FaultPoint = "fig10:1:flaky" // fails attempt 1 only
+	var st exp.Stats
+	flaky.StatsOut = &st
+	rep, err := run(flaky, io.Discard)
+	if err != nil {
+		t.Fatalf("retried run: %v", err)
+	}
+	if st.Retried == 0 {
+		t.Error("fault hook never fired; the retry test is vacuous")
+	}
+	js, err := marshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, js) {
+		t.Errorf("retried run differs from the clean run:\n%s", firstDiff(string(refJSON), string(js)))
+	}
+}
+
+// TestGoldenQuickReport pins the byte-exact -quick -json output for seed 1.
+// Any intentional change to results or report layout must regenerate the
+// golden file with `go test ./cmd/experiments -run Golden -update` and the
+// diff must be justified in review.
+func TestGoldenQuickReport(t *testing.T) {
+	rep, err := run(options{Seed: 1, Quick: true, Workers: 4, JSON: true}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := marshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "quick-seed1.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("quick report deviates from %s (regenerate with -update if intended):\n%s",
+			golden, firstDiff(string(want), string(got)))
+	}
+}
+
+// waitForGoroutineBaseline polls until the goroutine count returns to (or
+// below) the pre-test baseline, failing after two seconds.
+func waitForGoroutineBaseline(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d at baseline", runtime.NumGoroutine(), baseline)
+}

@@ -30,22 +30,23 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"lingerlonger/internal/cli"
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
 	"lingerlonger/internal/runtime"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lingerd: ")
+	cli.Run("lingerd", realMain)
+}
 
+func realMain() error {
 	var (
 		agentMode = flag.Bool("agent", false, "serve a workstation agent")
 		coordMode = flag.Bool("coordinator", false, "drive a set of agents")
@@ -68,18 +69,20 @@ func main() {
 	)
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
 	switch {
 	case *agentMode:
-		runAgent(*listen, *name, *util, *busyAfter, *totalMB)
+		return runAgent(*listen, *name, *util, *busyAfter, *totalMB)
 	case *coordMode:
-		runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, *seed, *jsonOut)
+		return runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, *seed, *jsonOut)
 	case *demoMode:
-		runDemo(*jsonOut)
+		return runDemo(*jsonOut)
 	case *faultSpec != "":
-		runFaultDemo(*faultSpec, *policy, *jobs, *demand, *steps, *jsonOut)
+		return runFaultDemo(*faultSpec, *policy, *jobs, *demand, *steps, *jsonOut)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return cli.Usagef("one of -agent, -coordinator, -demo, or -fault is required")
 	}
 }
 
@@ -89,18 +92,20 @@ func ownerScript(busyAfter, util float64) *runtime.ScriptedOwner {
 		{Duration: 1e9, Util: util, Keyboard: true, FreeMB: 30},
 	})
 	if err != nil {
-		log.Fatal(err)
+		// Unreachable: the phases are static and valid. cli.Run turns a
+		// panic into a diagnosed exit 1 if this invariant ever breaks.
+		panic(err)
 	}
 	return owner
 }
 
-func runAgent(listen, name string, util, busyAfter, totalMB float64) {
+func runAgent(listen, name string, util, busyAfter, totalMB float64) error {
 	if name == "" {
 		name = listen
 	}
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	srv := runtime.NewAgentServer(runtime.NewAgent(name, ownerScript(busyAfter, util), totalMB), l)
 	fmt.Printf("agent %q serving on %s (owner busy at %.0f%% after %.0fs)\n",
@@ -109,22 +114,23 @@ func runAgent(listen, name string, util, busyAfter, totalMB float64) {
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	srv.Close()
+	return nil
 }
 
-func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int, faultSpec string, seed int64, jsonOut bool) {
+func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int, faultSpec string, seed int64, jsonOut bool) error {
 	p, err := core.ParsePolicy(policyName)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Usagef("%v", err)
 	}
 	var injector runtime.FaultInjector
 	if faultSpec != "" {
 		cfg, err := runtime.ParseFaultSpec(faultSpec)
 		if err != nil {
-			log.Fatal(err)
+			return cli.Usagef("%v", err)
 		}
 		inj, err := runtime.NewSeededInjector(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return cli.Usagef("%v", err)
 		}
 		injector = inj
 	}
@@ -143,7 +149,7 @@ func runCoordinator(addrs []string, policyName string, jobs int, demand float64,
 		ccfg.Counters = counters
 		c, err := runtime.DialAgentConfig(addr, ccfg)
 		if err != nil {
-			log.Fatalf("dial %s: %v", addr, err)
+			return fmt.Errorf("dial %s: %w", addr, err)
 		}
 		defer c.Close()
 		clients = append(clients, c)
@@ -153,10 +159,10 @@ func runCoordinator(addrs []string, policyName string, jobs int, demand float64,
 	}
 	cfg := runtime.DefaultCoordinatorConfig()
 	cfg.Policy = p
-	drive(cfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: faultSpec, jsonOut: jsonOut})
+	return drive(cfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: faultSpec, jsonOut: jsonOut})
 }
 
-func runDemo(jsonOut bool) {
+func runDemo(jsonOut bool) error {
 	if !jsonOut {
 		fmt.Println("demo: three loopback-TCP agents; 'alpha' turns busy after 40s; policy LL")
 	}
@@ -169,13 +175,13 @@ func runDemo(jsonOut bool) {
 	for _, name := range []string{"alpha", "beta", "gamma"} {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		srv := runtime.NewAgentServer(runtime.NewAgent(name, owners[name], 64), l)
 		defer srv.Close()
 		c, err := runtime.DialAgent(srv.Addr().String())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer c.Close()
 		clients = append(clients, c)
@@ -183,21 +189,21 @@ func runDemo(jsonOut bool) {
 			fmt.Printf("  agent %q on %s\n", name, srv.Addr())
 		}
 	}
-	drive(runtime.DefaultCoordinatorConfig(), clients, nil, driveOpts{jobs: 2, demand: 150, steps: 400, policy: "LL", jsonOut: jsonOut})
+	return drive(runtime.DefaultCoordinatorConfig(), clients, nil, driveOpts{jobs: 2, demand: 150, steps: 400, policy: "LL", jsonOut: jsonOut})
 }
 
 // runFaultDemo drives four in-process agents behind a simulated lossy
 // network. The run is fully deterministic: the injector's verdicts are a
 // pure function of the spec's seed, retries consume seeded jitter streams,
 // and time is virtual, so repeated runs emit byte-identical reports.
-func runFaultDemo(spec, policyName string, jobs int, demand float64, steps int, jsonOut bool) {
+func runFaultDemo(spec, policyName string, jobs int, demand float64, steps int, jsonOut bool) error {
 	p, err := core.ParsePolicy(policyName)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Usagef("%v", err)
 	}
 	cfg, err := runtime.ParseFaultSpec(spec)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Usagef("%v", err)
 	}
 	if len(cfg.Partitions) == 0 {
 		// Sever one agent mid-run, while it still hosts a job, so the
@@ -207,7 +213,7 @@ func runFaultDemo(spec, policyName string, jobs int, demand float64, steps int, 
 	}
 	inj, err := runtime.NewSeededInjector(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return cli.Usagef("%v", err)
 	}
 	if !jsonOut {
 		fmt.Printf("fault demo: four in-process agents behind a lossy network (%s)\n", spec)
@@ -230,7 +236,7 @@ func runFaultDemo(spec, policyName string, jobs int, demand float64, steps int, 
 	}
 	ccfg := runtime.DefaultCoordinatorConfig()
 	ccfg.Policy = p
-	drive(ccfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: spec, jsonOut: jsonOut})
+	return drive(ccfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: spec, jsonOut: jsonOut})
 }
 
 // driveOpts carries the run parameters into the shared driver.
@@ -267,15 +273,15 @@ type completionRecord struct {
 	Response  float64 `json:"responseS"`
 }
 
-func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, counters *runtime.FaultCounters, opts driveOpts) {
+func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, counters *runtime.FaultCounters, opts driveOpts) error {
 	coord, err := runtime.NewCoordinator(cfg, clients)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for i := 0; i < opts.jobs; i++ {
 		id, err := coord.Submit(opts.demand, 8)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if !opts.jsonOut {
 			fmt.Printf("submitted job %d (%.0f CPU-s)\n", id, opts.demand)
@@ -286,7 +292,7 @@ func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, counter
 	lastRecovered := 0
 	for i := 0; i < opts.steps; i++ {
 		if err := coord.Step(1); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if !opts.jsonOut {
 			if m := coord.Migrations(); m != lastMigr {
@@ -313,7 +319,7 @@ func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, counter
 	// The invariant checker proves no job was lost or double-tracked; a
 	// violation is a bug worth dying loudly over, in any output mode.
 	if err := coord.CheckInvariants(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if opts.jsonOut {
 		r := report{
@@ -340,13 +346,14 @@ func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, counter
 		}
 		out, err := json.MarshalIndent(r, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(string(out))
-		return
+		return nil
 	}
 	fmt.Printf("done: %d/%d jobs completed, %d migrations, %d recoveries, %d retries, %d still queued\n",
 		len(done), opts.jobs, coord.Migrations(), coord.Counters().RecoveredJobs, transportRetries(counters), coord.QueueLen())
+	return nil
 }
 
 func transportRetries(c *runtime.FaultCounters) int {

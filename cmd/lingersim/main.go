@@ -7,14 +7,16 @@
 //
 //	lingersim [-nodes 64] [-workload 1|2] [-policy LL|LF|IE|PM|all]
 //	          [-breakdown] [-seed 1] [-tpdur 3600] [-machines 16] [-days 2]
+//
+// Exit codes: 0 on success, 1 on runtime failure, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"lingerlonger/internal/cli"
 	"lingerlonger/internal/cluster"
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/stats"
@@ -22,9 +24,10 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lingersim: ")
+	cli.Run("lingersim", realMain)
+}
 
+func realMain() error {
 	var (
 		nodes     = flag.Int("nodes", 64, "cluster size")
 		workload  = flag.Int("workload", 1, "paper workload: 1 (128x600s) or 2 (16x1800s)")
@@ -36,12 +39,15 @@ func main() {
 		days      = flag.Int("days", 2, "trace length, days")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
 
 	tcfg := trace.DefaultConfig()
 	tcfg.Days = *days
 	corpus, err := trace.GenerateCorpus(tcfg, *machines, stats.NewRNG(*seed))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var cfg cluster.Config
@@ -51,7 +57,7 @@ func main() {
 	case 2:
 		cfg = cluster.Workload2(core.LingerLonger)
 	default:
-		log.Fatalf("unknown workload %d (want 1 or 2)", *workload)
+		return cli.Usagef("unknown workload %d (want 1 or 2)", *workload)
 	}
 	cfg.Nodes = *nodes
 	cfg.Seed = *seed
@@ -60,7 +66,7 @@ func main() {
 	if *policy != "all" {
 		p, err := core.ParsePolicy(*policy)
 		if err != nil {
-			log.Fatal(err)
+			return cli.Usagef("%v", err)
 		}
 		pols = []core.Policy{p}
 	}
@@ -74,11 +80,11 @@ func main() {
 		c.Policy = p
 		batch, err := cluster.Run(c, corpus)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tp, err := cluster.RunThroughput(c, corpus, *tpdur)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("%-6s %12.0f %9.1f%% %12.0f %12.1f %9.2f%%\n",
 			p, batch.AvgCompletion, 100*batch.Variation, batch.FamilyTime,
@@ -92,4 +98,5 @@ func main() {
 				b.Queued, b.Running, b.Lingering, b.Paused, b.Migrating)
 		}
 	}
+	return nil
 }

@@ -6,29 +6,35 @@
 // Usage:
 //
 //	nodesim [-dur 2000] [-seed 1] [-cs 100,300,500]
+//
+// Exit codes: 0 on success, 1 on runtime failure, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"strconv"
 	"strings"
 
+	"lingerlonger/internal/cli"
 	"lingerlonger/internal/node"
 	"lingerlonger/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("nodesim: ")
+	cli.Run("nodesim", realMain)
+}
 
+func realMain() error {
 	var (
 		dur    = flag.Float64("dur", 2000, "simulated seconds per point")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		csList = flag.String("cs", "100,300,500", "effective context-switch times, microseconds")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
 
 	cfg := node.DefaultFig5Config()
 	cfg.Duration = *dur
@@ -37,7 +43,7 @@ func main() {
 	for _, s := range strings.Split(*csList, ",") {
 		us, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			log.Fatalf("bad -cs value %q: %v", s, err)
+			return cli.Usagef("bad -cs value %q: %v", s, err)
 		}
 		cfg.ContextSwitches = append(cfg.ContextSwitches, us*1e-6)
 	}
@@ -49,4 +55,5 @@ func main() {
 		fmt.Printf("%7.0f%% %10.0f %9.2f%% %9.1f%%\n",
 			100*p.Utilization, p.ContextSwitch*1e6, 100*p.LDR, 100*p.FCSR)
 	}
+	return nil
 }

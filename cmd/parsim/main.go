@@ -10,22 +10,25 @@
 // With no flag it runs every figure. -workers sizes the sweep worker pool
 // (0 = GOMAXPROCS); results are identical for every worker count because
 // each sweep point derives its own RNG seed from (seed, index).
+//
+// Exit codes follow the internal/cli convention: 0 success, 1 runtime
+// failure, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math"
 
 	"lingerlonger/internal/apps"
+	"lingerlonger/internal/cli"
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/parallel"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("parsim: ")
+func main() { cli.Run("parsim", realMain) }
 
+func realMain() error {
 	var (
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
@@ -36,12 +39,16 @@ func main() {
 		fig13   = flag.Bool("fig13", false, "run Figure 13 (applications: linger vs reconfiguration)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
 	all := !*fig9 && !*fig10 && !*fig11 && !*fig12 && !*fig13
+	runner := exp.NewRunner(*workers)
 
 	if all || *fig9 {
-		pts, err := parallel.Fig9(*seed, *workers)
+		pts, err := parallel.Fig9(runner, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("Figure 9 — parallel job slowdown vs local utilization (1 non-idle node of 8)")
 		for _, p := range pts {
@@ -50,9 +57,9 @@ func main() {
 	}
 
 	if all || *fig10 {
-		pts, err := parallel.Fig10(*seed, *workers)
+		pts, err := parallel.Fig10(runner, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("\nFigure 10 — slowdown vs synchronization granularity (20% non-idle nodes)")
 		fmt.Printf("%12s %8s %8s %8s %8s\n", "granularity", "1 node", "2 nodes", "4 nodes", "8 nodes")
@@ -72,10 +79,10 @@ func main() {
 	if all || *fig11 {
 		cfg := parallel.DefaultReconfigConfig()
 		cfg.Seed = *seed
-		cfg.Workers = *workers
+		cfg.Exec = runner
 		pts, err := parallel.Fig11(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("\nFigure 11 — Linger-Longer vs reconfiguration (32-node cluster, 20% non-idle)")
 		fmt.Printf("%6s %10s %10s %10s %10s\n", "idle", "LL-32", "LL-16", "LL-8", "reconfig")
@@ -86,9 +93,9 @@ func main() {
 	}
 
 	if all || *fig12 {
-		pts, err := apps.Fig12(*seed, *workers)
+		pts, err := apps.Fig12(runner, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("\nFigure 12 — application slowdown vs non-idle nodes (8-node cluster)")
 		for _, app := range []string{"sor", "water", "fft"} {
@@ -111,10 +118,10 @@ func main() {
 	if all || *fig13 {
 		cfg := apps.DefaultFig13Config()
 		cfg.Seed = *seed
-		cfg.Workers = *workers
+		cfg.Exec = runner
 		pts, err := apps.Fig13(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("\nFigure 13 — applications: linger vs reconfiguration (16-node cluster, 20% non-idle)")
 		cur := ""
@@ -127,6 +134,7 @@ func main() {
 			fmt.Printf("%6d %10s %10.2f %10.2f\n", p.IdleNodes, fmtOrInf(p.Reconfig), p.LL16, p.LL8)
 		}
 	}
+	return nil
 }
 
 func fmtOrInf(v float64) string {

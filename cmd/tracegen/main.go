@@ -1,29 +1,38 @@
 // Command tracegen generates and analyzes the synthetic workstation
 // traces (the §3 workload characterization): the corpus statistics, the
 // Figure 2 burst CDFs, the Figure 3 workload parameters, and the Figure 4
-// available-memory CDF.
+// available-memory CDF. It can also export a generated corpus to the
+// lltrace text format and analyze a previously exported corpus.
 //
 // Usage:
 //
 //	tracegen [-machines 8] [-days 7] [-seed 1] [-stats] [-fig2] [-fig3] [-fig4]
+//	tracegen -export DIR          write the corpus as DIR/machine-NNN.trace
+//	tracegen -load DIR -stats     analyze traces read back from DIR
 //
-// With no figure flag it prints the corpus statistics.
+// With no figure flag it prints the corpus statistics. Exit codes: 0 on
+// success, 1 on runtime failure, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
+	"lingerlonger/internal/cli"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
 	"lingerlonger/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracegen: ")
+	cli.Run("tracegen", realMain)
+}
 
+func realMain() error {
 	var (
 		machines  = flag.Int("machines", 8, "number of machines in the corpus")
 		days      = flag.Int("days", 7, "trace length, days")
@@ -32,23 +41,62 @@ func main() {
 		fig2      = flag.Bool("fig2", false, "print the Figure 2 burst CDFs")
 		fig3      = flag.Bool("fig3", false, "print the Figure 3 workload parameters")
 		fig4      = flag.Bool("fig4", false, "print the Figure 4 memory CDF")
+		export    = flag.String("export", "", "write the generated corpus to `dir` in lltrace text format")
+		load      = flag.String("load", "", "analyze traces loaded from `dir` instead of generating them")
 	)
 	flag.Parse()
-	if !*fig2 && !*fig3 && !*fig4 {
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
+	if *export != "" && *load != "" {
+		return cli.Usagef("-export and -load are mutually exclusive")
+	}
+	if !*fig2 && !*fig3 && !*fig4 && *export == "" {
 		*showStats = true
 	}
 
 	table := workload.DefaultTable()
 
-	if *showStats {
-		cfg := trace.DefaultConfig()
-		cfg.Days = *days
-		corpus, err := trace.GenerateCorpus(cfg, *machines, stats.NewRNG(*seed))
-		if err != nil {
-			log.Fatal(err)
+	// The corpus is generated lazily (once) since not every mode needs it.
+	var corpus []*trace.Trace
+	getCorpus := func() ([]*trace.Trace, error) {
+		if corpus != nil {
+			return corpus, nil
 		}
-		cs := trace.Analyze(corpus)
-		fmt.Printf("corpus: %d machines x %d days (%d samples)\n", cs.Machines, *days, cs.Samples)
+		var err error
+		if *load != "" {
+			corpus, err = loadCorpus(*load)
+		} else {
+			cfg := trace.DefaultConfig()
+			cfg.Days = *days
+			corpus, err = trace.GenerateCorpus(cfg, *machines, stats.NewRNG(*seed))
+		}
+		return corpus, err
+	}
+
+	if *export != "" {
+		c, err := getCorpus()
+		if err != nil {
+			return err
+		}
+		if err := exportCorpus(*export, c); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d traces to %s\n", len(c), *export)
+	}
+
+	if *showStats {
+		c, err := getCorpus()
+		if err != nil {
+			return err
+		}
+		cs := trace.Analyze(c)
+		corpusDays := *days
+		if *load != "" && len(c) > 0 {
+			// Report the loaded corpus's actual length, not the -days flag.
+			corpusDays = int(float64(len(c[0].Samples)) * c[0].Interval / 86400)
+		}
+		fmt.Printf("corpus: %d machines x %d days (%d samples)\n", cs.Machines, corpusDays, cs.Samples)
 		fmt.Printf("  non-idle fraction        %.3f   (paper §3.2: 0.46)\n", cs.NonIdleFraction)
 		fmt.Printf("  mean CPU (all)           %.3f\n", cs.MeanCPU)
 		fmt.Printf("  mean CPU (idle)          %.3f\n", cs.MeanCPUIdle)
@@ -86,13 +134,11 @@ func main() {
 	}
 
 	if *fig4 {
-		cfg := trace.DefaultConfig()
-		cfg.Days = *days
-		corpus, err := trace.GenerateCorpus(cfg, *machines, stats.NewRNG(*seed))
+		c, err := getCorpus()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		all, idle, nonIdle := trace.Fig4(corpus)
+		all, idle, nonIdle := trace.Fig4(c)
 		fmt.Println("\nFigure 4 — available memory CDF (64 MB machines)")
 		fmt.Printf("%8s %10s %10s %10s\n", "MB", "all", "idle", "non-idle")
 		for mb := 0.0; mb <= 64; mb += 4 {
@@ -101,4 +147,47 @@ func main() {
 		fmt.Printf("\n  P(free >= 14 MB) = %.3f (paper: 0.90)\n", trace.FracAtLeast(all, 14))
 		fmt.Printf("  P(free >= 10 MB) = %.3f (paper: 0.95)\n", trace.FracAtLeast(all, 10))
 	}
+	return nil
+}
+
+// exportCorpus writes one lltrace file per machine into dir.
+func exportCorpus(dir string, corpus []*trace.Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tracegen: %w", err)
+	}
+	for i, tr := range corpus {
+		path := filepath.Join(dir, fmt.Sprintf("machine-%03d.trace", i))
+		if err := trace.Save(path, tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadCorpus reads every *.trace file in dir, in sorted name order so the
+// machine numbering is stable.
+func loadCorpus(dir string) ([]*trace.Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracegen: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".trace") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("tracegen: no .trace files in %s", dir)
+	}
+	sort.Strings(names)
+	corpus := make([]*trace.Trace, 0, len(names))
+	for _, name := range names {
+		tr, err := trace.Load(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		corpus = append(corpus, tr)
+	}
+	return corpus, nil
 }

@@ -59,7 +59,7 @@ func TestBSPForScaling(t *testing.T) {
 }
 
 func TestFig12ShapeMatchesPaper(t *testing.T) {
-	pts, err := Fig12(1, 0)
+	pts, err := Fig12(nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,10 +25,12 @@ type Fig12Point struct {
 }
 
 // baselines runs each application profile on an all-idle cluster of size
-// procs, in parallel, seeding each run from its own stream of master.
-func baselines(workers int, master int64, procs int) ([]float64, error) {
+// procs, in parallel, seeding each run from its own stream of master. The
+// sweep argument names the phase for checkpoint keys (each caller runs its
+// baselines under a distinct ID).
+func baselines(r *exp.Runner, sweep string, master int64, procs int) ([]float64, error) {
 	profiles := Profiles()
-	return exp.SeededMap(workers, master, len(profiles), func(i int, rng *stats.RNG) (float64, error) {
+	return exp.RunSeeded(r, sweep, master, len(profiles), func(i int, rng *stats.RNG) (float64, error) {
 		cfg, err := profiles[i].BSPFor(procs)
 		if err != nil {
 			return 0, err
@@ -39,21 +41,22 @@ func baselines(workers int, master int64, procs int) ([]float64, error) {
 
 // Fig12 reproduces Figure 12: sor, water and fft on an 8-node cluster with
 // the number of non-idle nodes swept 0..8 and their local utilization at
-// 10, 20, 30 and 40%. The 108 grid points run on a pool of workers
-// goroutines (<= 0 selects GOMAXPROCS).
-func Fig12(seed int64, workers int) ([]Fig12Point, error) {
+// 10, 20, 30 and 40%. The 108 grid points run under r's execution policy
+// (nil selects a plain GOMAXPROCS pool) as sweeps "fig12/base" and
+// "fig12/points".
+func Fig12(r *exp.Runner, seed int64) ([]Fig12Point, error) {
 	const procs = 8
 	utils := []float64{0.10, 0.20, 0.30, 0.40}
 	perProfile := len(utils) * (procs + 1)
 	profiles := Profiles()
 
-	base, err := baselines(workers, exp.DeriveSeed(seed, 0), procs)
+	base, err := baselines(r, "fig12/base", exp.DeriveSeed(seed, 0), procs)
 	if err != nil {
 		return nil, err
 	}
 	ptsMaster := exp.DeriveSeed(seed, 1)
 	n := len(profiles) * perProfile
-	return exp.SeededMap(workers, ptsMaster, n, func(i int, rng *stats.RNG) (Fig12Point, error) {
+	return exp.RunSeeded(r, "fig12/points", ptsMaster, n, func(i int, rng *stats.RNG) (Fig12Point, error) {
 		p := profiles[i/perProfile]
 		rest := i % perProfile
 		lusg := utils[rest/(procs+1)]
@@ -102,6 +105,9 @@ type Fig13Config struct {
 	NonIdleUtil float64 // the paper: 0.20
 	Seed        int64
 	Workers     int // sweep worker-pool size; <= 0 selects GOMAXPROCS
+	// Exec, when non-nil, supplies the sweep execution policy (pool size,
+	// retries, watchdog, checkpointing) and takes precedence over Workers.
+	Exec *exp.Runner
 }
 
 // DefaultFig13Config returns the paper's setting.
@@ -117,7 +123,8 @@ func Fig13(cfg Fig13Config) ([]Fig13Point, error) {
 		return nil, fmt.Errorf("apps: ClusterSize must be positive, got %d", cfg.ClusterSize)
 	}
 	profiles := Profiles()
-	base, err := baselines(cfg.Workers, exp.DeriveSeed(cfg.Seed, 0), cfg.ClusterSize)
+	r := exp.Or(cfg.Exec, cfg.Workers)
+	base, err := baselines(r, "fig13/base", exp.DeriveSeed(cfg.Seed, 0), cfg.ClusterSize)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +132,7 @@ func Fig13(cfg Fig13Config) ([]Fig13Point, error) {
 	perProfile := cfg.ClusterSize + 1
 	n := len(profiles) * perProfile
 	ptsMaster := exp.DeriveSeed(cfg.Seed, 1)
-	return exp.SeededMap(cfg.Workers, ptsMaster, n, func(i int, rng *stats.RNG) (Fig13Point, error) {
+	return exp.RunSeeded(r, "fig13/points", ptsMaster, n, func(i int, rng *stats.RNG) (Fig13Point, error) {
 		p := profiles[i/perProfile]
 		idle := cfg.ClusterSize - i%perProfile
 		pt := Fig13Point{App: p.Name, IdleNodes: idle}

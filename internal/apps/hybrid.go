@@ -127,14 +127,17 @@ type HybridPoint struct {
 // 16 processes and simulates the choice. Like the other application
 // sweeps, the points run on the exp worker pool with per-point derived
 // seeds (streams 2 and 3 of cfg.Seed; Fig13 consumes streams 0 and 1), so
-// the results are independent of cfg.Workers.
+// the results are independent of the worker count. Sweep IDs are
+// "hybrid/base" and "hybrid/points" (the embedded Fig13 run keeps its own
+// "fig13/..." IDs, so on a checkpointed rerun its points restore).
 func FigHybrid(cfg Fig13Config) ([]HybridPoint, error) {
 	fixed, err := Fig13(cfg)
 	if err != nil {
 		return nil, err
 	}
 	profiles := Profiles()
-	base, err := baselines(cfg.Workers, exp.DeriveSeed(cfg.Seed, 2), cfg.ClusterSize)
+	r := exp.Or(cfg.Exec, cfg.Workers)
+	base, err := baselines(r, "hybrid/base", exp.DeriveSeed(cfg.Seed, 2), cfg.ClusterSize)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +145,7 @@ func FigHybrid(cfg Fig13Config) ([]HybridPoint, error) {
 	perProfile := cfg.ClusterSize + 1
 	n := len(profiles) * perProfile
 	ptsMaster := exp.DeriveSeed(cfg.Seed, 3)
-	return exp.SeededMap(cfg.Workers, ptsMaster, n, func(i int, rng *stats.RNG) (HybridPoint, error) {
+	return exp.RunSeeded(r, "hybrid/points", ptsMaster, n, func(i int, rng *stats.RNG) (HybridPoint, error) {
 		p := profiles[i/perProfile]
 		idle := cfg.ClusterSize - i%perProfile
 

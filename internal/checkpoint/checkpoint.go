@@ -1,0 +1,387 @@
+// Package checkpoint persists per-point sweep results so an interrupted
+// experiment run can resume without recomputing finished work.
+//
+// A checkpointed run is a directory:
+//
+//	<dir>/manifest.json      — identity of the run (schema, seed, config)
+//	<dir>/points/<sweep>/<index>.snap — one snapshot per completed point
+//	<dir>/failures.json      — failure manifest (fail-soft runs only)
+//
+// Because every sweep point in this repository is a pure function of
+// (master seed, sweep ID, point index) — see DESIGN.md §8 — a snapshot is
+// valid forever for runs with the same manifest: a resumed run that
+// restores some points and computes the rest is byte-identical to an
+// uninterrupted run. Open enforces the precondition by refusing a
+// directory whose manifest does not match exactly.
+//
+// Snapshots are written atomically (write to a temporary file, fsync,
+// rename, fsync the directory), so a crash at any instant leaves either
+// the old state or the new state, never a torn file. Each snapshot also
+// carries a magic header, a length and an FNV-64a checksum; a snapshot
+// that fails verification is reported as absent so the point is simply
+// recomputed.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// SchemaVersion is the on-disk layout version; Open refuses manifests
+// written by a different schema.
+const SchemaVersion = 1
+
+// Meta identifies a run. Resume requires an exact match: equal seeds and
+// equal config fingerprints guarantee (with the repository's determinism
+// rules) that a stored point equals the point a fresh run would compute.
+type Meta struct {
+	Schema int    `json:"schema_version"`
+	Seed   int64  `json:"seed"`
+	Config string `json:"config"` // fingerprint of every result-determining parameter
+}
+
+// MismatchError reports an attempt to resume from a directory whose
+// manifest belongs to a different run.
+type MismatchError struct {
+	Dir  string
+	Want Meta // what the caller is running
+	Got  Meta // what the directory holds
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("checkpoint: %s holds a different run (have schema=%d seed=%d config=%q, resuming run is schema=%d seed=%d config=%q)",
+		e.Dir, e.Got.Schema, e.Got.Seed, e.Got.Config, e.Want.Schema, e.Want.Seed, e.Want.Config)
+}
+
+// ErrInjectedCrash is the error the FailAfter fault hook returns from
+// Save once its budget is exhausted. It exists so the kill-and-resume
+// tests can simulate a process dying mid-sweep at a deterministic
+// point without actually killing the process.
+var ErrInjectedCrash = errors.New("checkpoint: injected crash (fault hook)")
+
+const (
+	manifestName = "manifest.json"
+	failuresName = "failures.json"
+	pointsDir    = "points"
+	snapSuffix   = ".snap"
+)
+
+// Run is an open checkpoint directory. It implements the exp.Store
+// interface (Lookup/Save), so it plugs directly into exp.Runner.
+type Run struct {
+	dir  string
+	meta Meta
+
+	mu        sync.Mutex
+	failAfter int // saves remaining before the fault hook fires; -1 = disarmed
+	failErr   error
+}
+
+// Create initialises dir as a fresh checkpointed run: the directory is
+// created if needed and the manifest written atomically. It refuses a
+// directory that already holds a manifest — resume those with Open.
+func Create(dir string, meta Meta) (*Run, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("checkpoint: %s already holds a run; resume it instead of recreating it", dir)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, pointsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create %s: %w", dir, err)
+	}
+	b, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: marshal manifest: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(dir, manifestName), append(b, '\n')); err != nil {
+		return nil, err
+	}
+	return &Run{dir: dir, meta: meta, failAfter: -1}, nil
+}
+
+// Open resumes an existing run directory. The stored manifest must match
+// meta exactly; otherwise a *MismatchError is returned, because restoring
+// snapshots from a different (seed, config) would silently corrupt the
+// resumed results.
+func Open(dir string, meta Meta) (*Run, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", dir, err)
+	}
+	var got Meta
+	if err := json.Unmarshal(b, &got); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: corrupt manifest: %w", dir, err)
+	}
+	if got != meta {
+		return nil, &MismatchError{Dir: dir, Want: meta, Got: got}
+	}
+	return &Run{dir: dir, meta: meta, failAfter: -1}, nil
+}
+
+// OpenOrCreate resumes dir when it holds a run and initialises it
+// otherwise — the semantics of a -resume flag pointed at a directory that
+// may or may not have checkpoints yet.
+func OpenOrCreate(dir string, meta Meta) (*Run, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return Open(dir, meta)
+	}
+	return Create(dir, meta)
+}
+
+// Dir returns the run directory.
+func (r *Run) Dir() string { return r.dir }
+
+// FailAfter arms the deterministic fault hook: after n more successful
+// Saves, every subsequent Save returns err (ErrInjectedCrash when err is
+// nil). The hook simulates the process being killed mid-sweep — the
+// snapshots written so far stay on disk, exactly as a real crash would
+// leave them — without taking the test process down.
+func (r *Run) FailAfter(n int, err error) {
+	if err == nil {
+		err = ErrInjectedCrash
+	}
+	r.mu.Lock()
+	r.failAfter = n
+	r.failErr = err
+	r.mu.Unlock()
+}
+
+// snapPath validates the sweep ID and returns the snapshot path for
+// (sweep, index). Sweep IDs are slash-separated segments of
+// [A-Za-z0-9._-]; anything else (in particular "..") is rejected so a
+// sweep name can never escape the run directory.
+func (r *Run) snapPath(sweep string, index int) (string, error) {
+	if err := validateSweepID(sweep); err != nil {
+		return "", err
+	}
+	if index < 0 {
+		return "", fmt.Errorf("checkpoint: negative point index %d", index)
+	}
+	return filepath.Join(r.dir, pointsDir, filepath.FromSlash(sweep), fmt.Sprintf("%d%s", index, snapSuffix)), nil
+}
+
+func validateSweepID(sweep string) error {
+	if sweep == "" {
+		return errors.New("checkpoint: empty sweep ID")
+	}
+	for _, seg := range strings.Split(sweep, "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return fmt.Errorf("checkpoint: invalid sweep ID %q", sweep)
+		}
+		for _, c := range seg {
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+				c == '.', c == '_', c == '-':
+			default:
+				return fmt.Errorf("checkpoint: invalid sweep ID %q (character %q)", sweep, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Save persists one completed point atomically. It is safe for concurrent
+// use by the sweep worker pool.
+func (r *Run) Save(sweep string, index int, data []byte) error {
+	r.mu.Lock()
+	if r.failAfter == 0 {
+		err := r.failErr
+		r.mu.Unlock()
+		return err
+	}
+	if r.failAfter > 0 {
+		r.failAfter--
+	}
+	r.mu.Unlock()
+
+	path, err := r.snapPath(sweep, index)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("checkpoint: save %s[%d]: %w", sweep, index, err)
+	}
+	return atomicWrite(path, frame(data))
+}
+
+// Lookup returns the stored snapshot for (sweep, index), or ok=false when
+// none exists. A snapshot that exists but fails frame verification
+// (truncated, garbled) is reported as absent — the caller recomputes and
+// overwrites it — because a damaged checkpoint must degrade to extra work,
+// never to wrong results.
+func (r *Run) Lookup(sweep string, index int) (data []byte, ok bool, err error) {
+	path, err := r.snapPath(sweep, index)
+	if err != nil {
+		return nil, false, err
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("checkpoint: lookup %s[%d]: %w", sweep, index, err)
+	}
+	payload, ok := unframe(raw)
+	if !ok {
+		return nil, false, nil // damaged snapshot: recompute the point
+	}
+	return payload, true, nil
+}
+
+// Completed returns the set of point indices with a stored snapshot for
+// sweep. A missing sweep directory yields an empty set.
+func (r *Run) Completed(sweep string) (map[int]bool, error) {
+	if err := validateSweepID(sweep); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(r.dir, pointsDir, filepath.FromSlash(sweep)))
+	if errors.Is(err, os.ErrNotExist) {
+		return map[int]bool{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list %s: %w", sweep, err)
+	}
+	done := make(map[int]bool, len(entries))
+	for _, e := range entries {
+		name, found := strings.CutSuffix(e.Name(), snapSuffix)
+		if !found || e.IsDir() {
+			continue
+		}
+		var i int
+		if _, err := fmt.Sscanf(name, "%d", &i); err == nil && i >= 0 {
+			done[i] = true
+		}
+	}
+	return done, nil
+}
+
+// Failure is one entry of the failure manifest a fail-soft run writes: a
+// sweep point that exhausted its attempts.
+type Failure struct {
+	Sweep    string `json:"sweep"`
+	Index    int    `json:"index"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+}
+
+// failureManifest is the on-disk form of failures.json.
+type failureManifest struct {
+	Schema   int       `json:"schema_version"`
+	Failures []Failure `json:"failures"`
+}
+
+// WriteFailures atomically writes the failure manifest. An empty list
+// removes a stale manifest from an earlier attempt, so a clean resumed
+// run does not inherit last run's failures.
+func (r *Run) WriteFailures(fs []Failure) error {
+	path := filepath.Join(r.dir, failuresName)
+	if len(fs) == 0 {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("checkpoint: clear failure manifest: %w", err)
+		}
+		return nil
+	}
+	b, err := json.MarshalIndent(failureManifest{Schema: SchemaVersion, Failures: fs}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal failure manifest: %w", err)
+	}
+	return atomicWrite(path, append(b, '\n'))
+}
+
+// ReadFailures loads the failure manifest of a run directory; a missing
+// manifest yields an empty list.
+func ReadFailures(dir string) ([]Failure, error) {
+	b, err := os.ReadFile(filepath.Join(dir, failuresName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read failure manifest: %w", err)
+	}
+	var m failureManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("checkpoint: corrupt failure manifest: %w", err)
+	}
+	return m.Failures, nil
+}
+
+// --- snapshot framing -------------------------------------------------
+
+// snapMagic marks a snapshot file; the version digit changes with the
+// frame layout.
+var snapMagic = []byte("LLSNAP1\n")
+
+// frame wraps a payload as magic + uint64 length + payload + FNV-64a.
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, len(snapMagic)+8+len(payload)+8)
+	out = append(out, snapMagic...)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	h := fnv.New64a()
+	h.Write(payload)
+	return binary.BigEndian.AppendUint64(out, h.Sum64())
+}
+
+// unframe verifies and strips the frame, reporting ok=false on any
+// damage: wrong magic, truncation, trailing garbage, checksum mismatch.
+func unframe(raw []byte) ([]byte, bool) {
+	if len(raw) < len(snapMagic)+16 || string(raw[:len(snapMagic)]) != string(snapMagic) {
+		return nil, false
+	}
+	rest := raw[len(snapMagic):]
+	n := binary.BigEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	if uint64(len(rest)) != n+8 {
+		return nil, false
+	}
+	payload, sum := rest[:n], binary.BigEndian.Uint64(rest[n:])
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// atomicWrite writes data to path via write-fsync-rename (plus a
+// directory fsync), the strongest crash-consistency a POSIX filesystem
+// offers for a single file: after a crash the path holds either the old
+// bytes or the new bytes in full.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	// Persist the rename itself. Best effort: some filesystems refuse
+	// directory fsync, and losing it only risks the pre-rename state.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

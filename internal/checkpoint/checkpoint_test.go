@@ -1,0 +1,312 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testMeta() Meta {
+	return Meta{Schema: SchemaVersion, Seed: 42, Config: "quick=true workers=8"}
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	r, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dir() != dir {
+		t.Errorf("Dir() = %q", r.Dir())
+	}
+	if _, err := Open(dir, testMeta()); err != nil {
+		t.Fatalf("Open after Create: %v", err)
+	}
+	if _, err := Create(dir, testMeta()); err == nil {
+		t.Error("Create over an existing run must refuse")
+	}
+}
+
+func TestOpenRejectsMismatchedMeta(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, testMeta()); err != nil {
+		t.Fatal(err)
+	}
+	other := testMeta()
+	other.Seed = 43
+	_, err := Open(dir, other)
+	var mm *MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("want *MismatchError, got %v", err)
+	}
+	if mm.Got.Seed != 42 || mm.Want.Seed != 43 {
+		t.Errorf("MismatchError = %+v", mm)
+	}
+	if !strings.Contains(mm.Error(), "seed=42") || !strings.Contains(mm.Error(), "seed=43") {
+		t.Errorf("error text does not show both runs: %v", mm)
+	}
+}
+
+func TestOpenMissingAndCorruptManifest(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope"), testMeta()); err == nil {
+		t.Error("Open of a missing directory must fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testMeta()); err == nil {
+		t.Error("Open with a corrupt manifest must fail")
+	}
+}
+
+func TestOpenOrCreate(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	if _, err := OpenOrCreate(dir, testMeta()); err != nil {
+		t.Fatalf("first OpenOrCreate: %v", err)
+	}
+	if _, err := OpenOrCreate(dir, testMeta()); err != nil {
+		t.Fatalf("second OpenOrCreate: %v", err)
+	}
+	other := testMeta()
+	other.Config = "different"
+	if _, err := OpenOrCreate(dir, other); err == nil {
+		t.Error("OpenOrCreate must reject a mismatched existing run")
+	}
+}
+
+func TestSaveLookupRoundTrip(t *testing.T) {
+	r, err := Create(t.TempDir(), testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("result bytes \x00\xff with binary")
+	if err := r.Save("fig9", 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := r.Lookup("fig9", 3)
+	if err != nil || !ok {
+		t.Fatalf("Lookup = (%v, %v)", ok, err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload corrupted: %q", got)
+	}
+	if _, ok, err := r.Lookup("fig9", 4); ok || err != nil {
+		t.Errorf("missing point: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := r.Lookup("fig10", 3); ok || err != nil {
+		t.Errorf("missing sweep: ok=%v err=%v", ok, err)
+	}
+	// Overwrite is allowed (recompute of a damaged point).
+	if err := r.Save("fig9", 3, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = r.Lookup("fig9", 3)
+	if string(got) != "v2" {
+		t.Errorf("overwrite lost: %q", got)
+	}
+}
+
+func TestLookupTreatsDamageAsAbsent(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save("s", 0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "points", "s", "0.snap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated":       raw[:len(raw)-3],
+		"flipped byte":    append(append([]byte{}, raw[:12]...), append([]byte{raw[12] ^ 0x40}, raw[13:]...)...),
+		"wrong magic":     append([]byte("XXSNAP1\n"), raw[8:]...),
+		"trailing bytes":  append(append([]byte{}, raw...), "extra"...),
+		"empty file":      {},
+		"just the magic":  []byte("LLSNAP1\n"),
+		"flipped payload": flip(raw, len(raw)-10),
+	}
+	for name, corrupt := range cases {
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := r.Lookup("s", 0); ok || err != nil {
+			t.Errorf("%s: Lookup = (ok=%v, err=%v), want absent", name, ok, err)
+		}
+	}
+}
+
+func flip(raw []byte, i int) []byte {
+	out := append([]byte{}, raw...)
+	out[i] ^= 0x01
+	return out
+}
+
+func TestSweepIDValidation(t *testing.T) {
+	r, err := Create(t.TempDir(), testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "..", "a/../b", "a//b", "/abs", "trail/", "sp ace", "semi;colon", "dot/./dot"} {
+		if err := r.Save(bad, 0, []byte("x")); err == nil {
+			t.Errorf("Save accepted sweep ID %q", bad)
+		}
+		if _, _, err := r.Lookup(bad, 0); err == nil {
+			t.Errorf("Lookup accepted sweep ID %q", bad)
+		}
+	}
+	for _, good := range []string{"fig9", "wl1/fig7", "a.b-c_d/e2"} {
+		if err := r.Save(good, 0, []byte("x")); err != nil {
+			t.Errorf("Save rejected sweep ID %q: %v", good, err)
+		}
+	}
+	if err := r.Save("ok", -1, []byte("x")); err == nil {
+		t.Error("Save accepted a negative index")
+	}
+}
+
+func TestCompleted(t *testing.T) {
+	r, err := Create(t.TempDir(), testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 7} {
+		if err := r.Save("sweep", i, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := r.Completed("sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 || !done[0] || !done[2] || !done[7] {
+		t.Errorf("Completed = %v", done)
+	}
+	empty, err := r.Completed("never-ran")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("missing sweep: %v, %v", empty, err)
+	}
+}
+
+func TestFailAfterInjectsCrash(t *testing.T) {
+	r, err := Create(t.TempDir(), testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.FailAfter(2, nil)
+	if err := r.Save("s", 0, []byte("a")); err != nil {
+		t.Fatalf("save within budget: %v", err)
+	}
+	if err := r.Save("s", 1, []byte("b")); err != nil {
+		t.Fatalf("save within budget: %v", err)
+	}
+	if err := r.Save("s", 2, []byte("c")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("want ErrInjectedCrash, got %v", err)
+	}
+	if err := r.Save("s", 3, []byte("d")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("crash must persist: %v", err)
+	}
+	// The snapshots written before the crash survive, like a real kill.
+	if _, ok, _ := r.Lookup("s", 1); !ok {
+		t.Error("pre-crash snapshot lost")
+	}
+	if _, ok, _ := r.Lookup("s", 2); ok {
+		t.Error("post-crash snapshot exists")
+	}
+}
+
+func TestFailureManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := []Failure{
+		{Sweep: "fig11", Index: 4, Attempts: 3, Error: "panic: boom"},
+		{Sweep: "fig13/points", Index: 0, Attempts: 1, Error: "timeout"},
+	}
+	if err := r.WriteFailures(fs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFailures(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != fs[0] || got[1] != fs[1] {
+		t.Errorf("ReadFailures = %+v", got)
+	}
+	// An empty list clears the stale manifest.
+	if err := r.WriteFailures(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFailures(dir)
+	if err != nil || len(got) != 0 {
+		t.Errorf("after clear: %+v, %v", got, err)
+	}
+	if err := r.WriteFailures(nil); err != nil {
+		t.Errorf("clearing an absent manifest must be a no-op: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "failures.json"), []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFailures(dir); err == nil {
+		t.Error("corrupt failure manifest must error")
+	}
+}
+
+func TestReadFailuresMissingDir(t *testing.T) {
+	fs, err := ReadFailures(filepath.Join(t.TempDir(), "never"))
+	if err != nil || fs != nil {
+		t.Errorf("ReadFailures on missing dir = %v, %v", fs, err)
+	}
+}
+
+func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := r.Save("s", i, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameUnframeProperty(t *testing.T) {
+	payloads := [][]byte{{}, []byte("x"), []byte(strings.Repeat("abc\x00", 1000))}
+	for _, p := range payloads {
+		f := frame(p)
+		got, ok := unframe(f)
+		if !ok || string(got) != string(p) {
+			t.Errorf("round trip failed for %d bytes", len(p))
+		}
+		// Any single flipped bit in the payload region must be caught.
+		if len(p) > 0 {
+			bad := append([]byte{}, f...)
+			bad[len(snapMagic)+8] ^= 0x80
+			if _, ok := unframe(bad); ok {
+				t.Error("flipped payload bit not detected")
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package cli unifies how the cmd/* entry points report failure. Every
+// command follows the same convention:
+//
+//	exit 0 — success
+//	exit 1 — runtime failure, one-line diagnostic on stderr
+//	exit 2 — usage error (bad flag or argument), diagnostic + usage hint
+//	exit 3 — fail-soft run finished with partial results (some sweep
+//	         points failed; a failure manifest names them)
+//
+// A command's main becomes:
+//
+//	func main() { cli.Run("name", realMain) }
+//
+// where realMain returns nil, a *UsageError (Usagef), an error wrapping
+// ErrPartial, or any other error. Run also recovers a stray panic and
+// reports it as a runtime failure with its stack on stderr — a raw panic
+// must never be a command's user interface.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime/debug"
+)
+
+// Exit codes of the convention above.
+const (
+	ExitOK      = 0
+	ExitRuntime = 1
+	ExitUsage   = 2
+	ExitPartial = 3
+)
+
+// UsageError marks a command-line usage mistake; Run exits 2 for it.
+type UsageError struct{ msg string }
+
+func (e *UsageError) Error() string { return e.msg }
+
+// Usagef builds a *UsageError like fmt.Errorf.
+func Usagef(format string, args ...any) error {
+	return &UsageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsUsage reports whether err is (or wraps) a usage error.
+func IsUsage(err error) bool {
+	var ue *UsageError
+	return errors.As(err, &ue)
+}
+
+// ErrPartial marks a fail-soft run that completed with partial results.
+// Wrap it (fmt.Errorf("...: %w", cli.ErrPartial)) to make Run exit 3
+// after the command has already written its outputs and manifests.
+var ErrPartial = errors.New("completed with partial results")
+
+// Run executes main and exits the process with the conventional code.
+// name prefixes every diagnostic line.
+func Run(name string, main func() error) {
+	os.Exit(run(name, os.Stderr, main))
+}
+
+// run is Run without the os.Exit, so tests can drive it.
+func run(name string, stderr *os.File, main func() error) (code int) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(stderr, "%s: panic: %v\n%s", name, p, debug.Stack())
+			code = ExitRuntime
+		}
+	}()
+	err := main()
+	switch {
+	case err == nil:
+		return ExitOK
+	case IsUsage(err):
+		fmt.Fprintf(stderr, "%s: %v\nRun '%s -h' for usage.\n", name, err, name)
+		return ExitUsage
+	case errors.Is(err, ErrPartial):
+		fmt.Fprintf(stderr, "%s: %v\n", name, err)
+		return ExitPartial
+	default:
+		fmt.Fprintf(stderr, "%s: %v\n", name, err)
+		return ExitRuntime
+	}
+}

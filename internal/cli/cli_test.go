@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stderr redirected to a pipe and returns (exit code,
+// stderr text).
+func capture(t *testing.T, name string, main func() error) (int, string) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(name, w, main)
+	w.Close()
+	out, _ := io.ReadAll(r)
+	r.Close()
+	return code, string(out)
+}
+
+func TestRunSuccess(t *testing.T) {
+	code, out := capture(t, "x", func() error { return nil })
+	if code != ExitOK || out != "" {
+		t.Errorf("got (%d, %q)", code, out)
+	}
+}
+
+func TestRunRuntimeError(t *testing.T) {
+	code, out := capture(t, "x", func() error { return errors.New("disk on fire") })
+	if code != ExitRuntime {
+		t.Errorf("code = %d", code)
+	}
+	if out != "x: disk on fire\n" {
+		t.Errorf("stderr = %q, want one-line diagnostic", out)
+	}
+}
+
+func TestRunUsageError(t *testing.T) {
+	code, out := capture(t, "x", func() error { return Usagef("unknown figure %q", "fig99") })
+	if code != ExitUsage {
+		t.Errorf("code = %d", code)
+	}
+	if !strings.Contains(out, `unknown figure "fig99"`) || !strings.Contains(out, "x -h") {
+		t.Errorf("stderr = %q", out)
+	}
+}
+
+func TestRunWrappedUsageError(t *testing.T) {
+	wrapped := fmt.Errorf("parsing flags: %w", Usagef("bad"))
+	if !IsUsage(wrapped) {
+		t.Error("IsUsage must see through wrapping")
+	}
+	code, _ := capture(t, "x", func() error { return wrapped })
+	if code != ExitUsage {
+		t.Errorf("code = %d", code)
+	}
+}
+
+func TestRunPartial(t *testing.T) {
+	code, out := capture(t, "x", func() error {
+		return fmt.Errorf("3 of 500 points failed: %w", ErrPartial)
+	})
+	if code != ExitPartial {
+		t.Errorf("code = %d", code)
+	}
+	if !strings.Contains(out, "partial results") {
+		t.Errorf("stderr = %q", out)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	code, out := capture(t, "x", func() error { panic("unhandled bug") })
+	if code != ExitRuntime {
+		t.Errorf("code = %d", code)
+	}
+	if !strings.Contains(out, "x: panic: unhandled bug") || !strings.Contains(out, "cli_test") {
+		t.Errorf("stderr = %q, want panic line + stack", out)
+	}
+}

@@ -61,7 +61,11 @@ func RunArrivals(cfg ArrivalsConfig, corpus []*trace.Trace) (*ArrivalsResult, er
 
 	// The arrival process lives on a discrete-event engine; each event
 	// enqueues one job and schedules its successor until the window ends.
+	// The expected event count is Rate*Duration arrivals, so a budget a few
+	// multiples above that turns a rescheduling bug into a typed error
+	// instead of an infinite loop.
 	var engine sim.Engine
+	engine.SetEventBudget(uint64(cfg.Rate*cfg.Duration*4) + 10000)
 	arrivalRNG := stats.NewRNG(ccfg.Seed ^ 0x5ca1ab1e)
 	arrived := 0
 	var schedule func(at float64)
@@ -85,6 +89,9 @@ func RunArrivals(cfg ArrivalsConfig, corpus []*trace.Trace) (*ArrivalsResult, er
 		// placed before its arrival instant), then advance the cluster
 		// across the window.
 		engine.RunUntil(s.now)
+		if err := engine.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: arrival process: %w", err)
+		}
 		s.stepOnce()
 		if engine.Pending() == 0 && s.completed >= len(s.jobs) {
 			break

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"lingerlonger/internal/core"
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/node"
 	"lingerlonger/internal/predict"
 	"lingerlonger/internal/stats"
@@ -50,6 +51,11 @@ type Config struct {
 	// A single simulation is always sequential — Workers only fans out
 	// across policies and run kinds, so it never changes results.
 	Workers int
+
+	// Exec, when non-nil, supplies the sweep execution policy (pool size,
+	// retries, watchdog, checkpointing) for those drivers and takes
+	// precedence over Workers.
+	Exec *exp.Runner
 }
 
 // Placement is the strategy for choosing a destination among eligible

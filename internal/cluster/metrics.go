@@ -147,27 +147,42 @@ type Fig7Row struct {
 	LocalDelay    float64
 }
 
+// fig7Half is one task result of the Fig7 sweep: either a batch run or a
+// throughput run. The fields are exported values (not pointers) so a
+// checkpointing Runner can gob-encode the snapshot; Jobs is stripped
+// before storing because the Fig7 metrics never read it.
+type fig7Half struct {
+	Batch Result
+	TP    ThroughputResult
+}
+
 // Fig7 reproduces the Figure 7 table for one workload configuration:
 // batch metrics from Run plus throughput from a constant-population hour.
 // The cfg's Policy field is overridden for each of the four policies. The
 // eight underlying simulations (batch + throughput per policy) are
 // independent — every one seeds its own RNG from cfg.Seed — so they fan
-// out across a pool of cfg.Workers goroutines without changing any number.
+// out under cfg.Exec (or a plain pool of cfg.Workers goroutines) as sweep
+// "fig7" without changing any number.
 func Fig7(cfg Config, corpus []*trace.Trace, throughputDur float64) ([]Fig7Row, error) {
-	type half struct {
-		batch *Result
-		tp    *ThroughputResult
-	}
 	// Task 2k is policy k's batch run, task 2k+1 its throughput run.
-	halves, err := exp.Map(cfg.Workers, 2*len(core.Policies), func(i int) (half, error) {
+	halves, err := exp.RunSweep(exp.Or(cfg.Exec, cfg.Workers), "fig7", 2*len(core.Policies), func(i int) (fig7Half, error) {
 		c := cfg
 		c.Policy = core.Policies[i/2]
+		c.Exec = nil // the inner simulation never fans out
 		if i%2 == 0 {
 			batch, err := Run(c, corpus)
-			return half{batch: batch}, err
+			if err != nil {
+				return fig7Half{}, err
+			}
+			b := *batch
+			b.Jobs = nil
+			return fig7Half{Batch: b}, nil
 		}
 		tp, err := RunThroughput(c, corpus, throughputDur)
-		return half{tp: tp}, err
+		if err != nil {
+			return fig7Half{}, err
+		}
+		return fig7Half{TP: *tp}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -175,7 +190,7 @@ func Fig7(cfg Config, corpus []*trace.Trace, throughputDur float64) ([]Fig7Row, 
 
 	rows := make([]Fig7Row, 0, len(core.Policies))
 	for k, p := range core.Policies {
-		batch, tp := halves[2*k].batch, halves[2*k+1].tp
+		batch, tp := &halves[2*k].Batch, &halves[2*k+1].TP
 		delay := batch.LocalDelay
 		if tp.LocalDelay > delay {
 			delay = tp.LocalDelay

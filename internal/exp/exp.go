@@ -18,10 +18,7 @@
 package exp
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"lingerlonger/internal/stats"
 )
@@ -62,71 +59,24 @@ func Workers(requested int) int {
 // result slice is identical for every worker count.
 //
 // If any task fails, Map returns the error of the lowest-index failing
-// task (wrapped with that index) and stops dispatching further tasks;
+// task (a *PointError wrapping it) and stops dispatching further tasks;
 // already-dispatched tasks run to completion. The lowest-index guarantee
 // keeps even the failure mode deterministic: every index below the first
 // failure is always dispatched, so the reported error cannot depend on
 // goroutine scheduling.
+//
+// A panicking task does not crash the pool: the panic is recovered and
+// converted into a *PointError wrapping a *PanicError (stack included),
+// the pool drains, and Map returns — even when every task panics. For
+// retries, watchdog deadlines, fail-soft sweeps and checkpointing, use a
+// Runner with RunSweep.
 func Map[T any](workers, n int, task func(i int) (T, error)) ([]T, error) {
-	if n <= 0 {
-		return nil, nil
-	}
-	w := Workers(workers)
-	if w > n {
-		w = n
-	}
-	results := make([]T, n)
-	if w == 1 {
-		// Inline serial path: the reference order the pool must reproduce.
-		for i := 0; i < n; i++ {
-			r, err := task(i)
-			if err != nil {
-				return nil, fmt.Errorf("exp: task %d: %w", i, err)
-			}
-			results[i] = r
-		}
-		return results, nil
-	}
-
-	var (
-		next   atomic.Int64 // next index to dispatch
-		failed atomic.Bool  // stop dispatching after the first error
-		errs   = make([]error, n)
-		wg     sync.WaitGroup
-	)
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				r, err := task(i)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					continue
-				}
-				results[i] = r
-			}
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("exp: task %d: %w", i, err)
-		}
-	}
-	return results, nil
+	return runSweep(&Runner{Workers: workers}, "", n, task)
 }
 
 // SeededMap is Map for randomized tasks: each task receives a fresh
 // stats.RNG seeded with DeriveSeed(master, i), so no RNG stream is shared
 // between runs and the results do not depend on the worker count.
 func SeededMap[T any](workers int, master int64, n int, task func(i int, rng *stats.RNG) (T, error)) ([]T, error) {
-	return Map(workers, n, func(i int) (T, error) {
-		return task(i, stats.NewRNG(DeriveSeed(master, i)))
-	})
+	return RunSeeded(&Runner{Workers: workers}, "", master, n, task)
 }

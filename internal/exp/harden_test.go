@@ -1,0 +1,435 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lingerlonger/internal/stats"
+)
+
+// memStore is an in-memory exp.Store for tests: counts operations and can
+// inject save failures after a budget, mirroring checkpoint.Run.FailAfter.
+type memStore struct {
+	mu        sync.Mutex
+	snaps     map[string][]byte
+	lookups   int
+	saves     int
+	failAfter int // saves remaining before Save starts failing; -1 = never
+	failErr   error
+}
+
+func newMemStore() *memStore {
+	return &memStore{snaps: map[string][]byte{}, failAfter: -1}
+}
+
+func (s *memStore) key(sweep string, i int) string { return fmt.Sprintf("%s[%d]", sweep, i) }
+
+func (s *memStore) Lookup(sweep string, i int) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lookups++
+	b, ok := s.snaps[s.key(sweep, i)]
+	return b, ok, nil
+}
+
+func (s *memStore) Save(sweep string, i int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failAfter == 0 {
+		return s.failErr
+	}
+	if s.failAfter > 0 {
+		s.failAfter--
+	}
+	s.saves++
+	s.snaps[s.key(sweep, i)] = append([]byte(nil), data...)
+	return nil
+}
+
+func (s *memStore) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.snaps)
+}
+
+func TestMapRecoversPanicsAndDrains(t *testing.T) {
+	for _, w := range []int{1, 8} {
+		_, err := Map(w, 50, func(i int) (int, error) {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed", w)
+		}
+		var pe *PointError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %T is not a *PointError: %v", w, err, err)
+		}
+		if pe.Index != 7 {
+			t.Errorf("workers=%d: failing index = %d, want 7", w, pe.Index)
+		}
+		var pan *PanicError
+		if !errors.As(err, &pan) {
+			t.Fatalf("workers=%d: error does not wrap *PanicError: %v", w, err)
+		}
+		if pan.Value != "kaboom" {
+			t.Errorf("workers=%d: panic value = %v", w, pan.Value)
+		}
+		if !bytes.Contains(pan.Stack, []byte("harden_test")) {
+			t.Errorf("workers=%d: recovered stack does not mention the panic site", w)
+		}
+	}
+}
+
+// TestMapDrainsWhenEveryPointPanics is the regression test for the
+// historical bug where a worker panic escaped the pool as a bare
+// goroutine crash: even with every point panicking, the pool must drain
+// and return normally.
+func TestMapDrainsWhenEveryPointPanics(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, err := Map(8, 64, func(i int) (int, error) {
+		panic(i)
+	})
+	if err == nil {
+		t.Fatal("no error from an all-panicking sweep")
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("want lowest-index PointError, got %v", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestRunSweepRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(4)
+	r.Attempts = 3
+	out, err := RunSweep(r, "retry", 10, func(i int) (int, error) {
+		if i == 5 && calls.Add(1) < 3 {
+			return 0, errors.New("transient")
+		}
+		return i * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[5] != 10 {
+		t.Errorf("retried point = %d, want 10", out[5])
+	}
+	if got := r.Stats().Retried; got != 1 {
+		t.Errorf("Stats().Retried = %d, want 1", got)
+	}
+}
+
+func TestRunSweepExhaustsAttempts(t *testing.T) {
+	boom := errors.New("persistent")
+	r := NewRunner(1)
+	r.Attempts = 3
+	_, err := RunSweep(r, "exhaust", 4, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PointError, got %v", err)
+	}
+	if pe.Attempts != 3 || pe.Index != 2 || pe.Sweep != "exhaust" {
+		t.Errorf("PointError = %+v", pe)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error chain lost the task error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error text does not report attempts: %v", err)
+	}
+}
+
+func TestRunSweepWatchdogTimesOutHungPoint(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	r := NewRunner(2)
+	r.Timeout = 20 * time.Millisecond
+	r.FailSoft = true
+	out, err := RunSweep(r, "hang", 6, func(i int) (int, error) {
+		if i == 3 {
+			<-release // runaway point: blocks until the test ends
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		want := i
+		if i == 3 {
+			want = 0 // failed point keeps the zero value
+		}
+		if v != want {
+			t.Errorf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+	fails := r.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("got %d failures, want 1: %v", len(fails), fails)
+	}
+	if !errors.Is(fails[0], ErrPointTimeout) {
+		t.Errorf("failure does not wrap ErrPointTimeout: %v", fails[0])
+	}
+	if fails[0].Index != 3 {
+		t.Errorf("failed index = %d, want 3", fails[0].Index)
+	}
+}
+
+// TestFailSoftSweepCompletesAroundPanickingPoint is the acceptance test
+// for fail-soft mode: a sweep with an injected panicking point finishes,
+// produces results for every other point, records a typed failure naming
+// the point, checkpoints all successful points, and leaks no goroutines.
+func TestFailSoftSweepCompletesAroundPanickingPoint(t *testing.T) {
+	before := runtime.NumGoroutine()
+	store := newMemStore()
+	r := NewRunner(8)
+	r.FailSoft = true
+	r.Store = store
+	const n = 40
+	out, err := RunSweep(r, "failsoft", n, func(i int) (int, error) {
+		if i == 17 {
+			panic("injected bug at point 17")
+		}
+		return i + 100, nil
+	})
+	if err != nil {
+		t.Fatalf("fail-soft sweep returned an error: %v", err)
+	}
+	for i, v := range out {
+		switch {
+		case i == 17 && v != 0:
+			t.Errorf("failed point has non-zero value %d", v)
+		case i != 17 && v != i+100:
+			t.Errorf("out[%d] = %d, want %d", i, v, i+100)
+		}
+	}
+	fails := r.Failures()
+	if len(fails) != 1 || fails[0].Sweep != "failsoft" || fails[0].Index != 17 {
+		t.Fatalf("failures = %v, want exactly failsoft[17]", fails)
+	}
+	var pan *PanicError
+	if !errors.As(fails[0], &pan) {
+		t.Errorf("failure is not a recovered panic: %v", fails[0])
+	}
+	if store.count() != n-1 {
+		t.Errorf("store holds %d snapshots, want %d (every point but the failed one)", store.count(), n-1)
+	}
+	if got := r.Stats(); got.Computed != n-1 || got.Failed != 1 {
+		t.Errorf("Stats() = %+v", got)
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestRunSweepRestoresFromStore(t *testing.T) {
+	store := newMemStore()
+	var firstRuns atomic.Int64
+	r := NewRunner(4)
+	r.Store = store
+	task := func(counter *atomic.Int64) func(int) (float64, error) {
+		return func(i int) (float64, error) {
+			counter.Add(1)
+			return float64(i) * 1.5, nil
+		}
+	}
+	first, err := RunSweep(r, "resume", 20, task(&firstRuns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstRuns.Load() != 20 {
+		t.Fatalf("first pass ran %d tasks, want 20", firstRuns.Load())
+	}
+
+	// Second runner, same store: every point must restore, none recompute.
+	var secondRuns atomic.Int64
+	r2 := NewRunner(4)
+	r2.Store = store
+	second, err := RunSweep(r2, "resume", 20, task(&secondRuns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondRuns.Load() != 0 {
+		t.Errorf("resumed pass recomputed %d points, want 0", secondRuns.Load())
+	}
+	if got := r2.Stats().Restored; got != 20 {
+		t.Errorf("Stats().Restored = %d, want 20", got)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("restored[%d] = %v, computed %v", i, second[i], first[i])
+		}
+	}
+}
+
+func TestRunSweepPartialResumeIsExact(t *testing.T) {
+	// Interrupt a checkpointed sweep via an injected Save failure, then
+	// resume with a fresh runner: results must equal an uninterrupted run
+	// exactly, for serial and parallel pools.
+	for _, w := range []int{1, 8} {
+		ref, err := RunSeeded(NewRunner(w), "partial", 99, 30, noisyTask)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		store := newMemStore()
+		store.failAfter = 11
+		store.failErr = errors.New("injected crash")
+		r := NewRunner(w)
+		r.Store = store
+		if _, err := RunSeeded(r, "partial", 99, 30, noisyTask); err == nil {
+			t.Fatalf("workers=%d: injected crash did not surface", w)
+		}
+		if store.count() == 0 || store.count() >= 30 {
+			t.Fatalf("workers=%d: crash left %d snapshots, want a strict subset", w, store.count())
+		}
+
+		store.failAfter = -1
+		r2 := NewRunner(w)
+		r2.Store = store
+		resumed, err := RunSeeded(r2, "partial", 99, 30, noisyTask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := r2.Stats(); st.Restored == 0 || st.Computed == 0 {
+			t.Errorf("workers=%d: resume did not mix restored and computed points: %+v", w, st)
+		}
+		for i := range ref {
+			if resumed[i] != ref[i] {
+				t.Errorf("workers=%d: resumed[%d] = %v, want %v", w, i, resumed[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunSweepFaultHookInjection(t *testing.T) {
+	r := NewRunner(2)
+	r.Attempts = 2
+	r.FaultHook = func(sweep string, index, attempt int) error {
+		if sweep == "hook" && index == 4 && attempt == 1 {
+			return errors.New("injected transient")
+		}
+		return nil
+	}
+	out, err := RunSweep(r, "hook", 8, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[4] != 4 {
+		t.Errorf("out[4] = %d after retry, want 4", out[4])
+	}
+	if r.Stats().Retried != 1 {
+		t.Errorf("Stats().Retried = %d, want 1", r.Stats().Retried)
+	}
+}
+
+func TestNamedRunnerNamespacesSweeps(t *testing.T) {
+	store := newMemStore()
+	r := NewRunner(2)
+	r.Store = store
+	for _, wl := range []string{"wl1", "wl2"} {
+		sub := r.Named(wl)
+		if _, err := RunSweep(sub, "fig7", 4, func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.count() != 8 {
+		t.Fatalf("store holds %d snapshots, want 8 (two namespaced sweeps)", store.count())
+	}
+	if _, ok, _ := store.Lookup("wl1/fig7", 0); !ok {
+		t.Error("namespaced snapshot wl1/fig7[0] missing")
+	}
+	// Counters aggregate across Named derivatives.
+	if got := r.Stats().Computed; got != 8 {
+		t.Errorf("parent Stats().Computed = %d, want 8", got)
+	}
+}
+
+func TestNilRunnerIsPlainPool(t *testing.T) {
+	out, err := RunSweep[int](nil, "whatever", 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+	var r *Runner
+	if r.Failures() != nil || r.Named("x") != nil {
+		t.Error("nil runner methods must be no-ops")
+	}
+}
+
+func TestRunSweepDeterministicAcrossWorkersWithStoreAndRetries(t *testing.T) {
+	ref, err := RunSeeded(NewRunner(1), "det", 7, 40, noisyTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		r := NewRunner(w)
+		r.Attempts = 3
+		r.Store = newMemStore()
+		var failedOnce sync.Map
+		r.FaultHook = func(sweep string, index, attempt int) error {
+			// Fail every third point's first attempt: retries must not
+			// perturb results because each attempt reseeds from (master, i).
+			if index%3 == 0 && attempt == 1 {
+				if _, dup := failedOnce.LoadOrStore(index, true); !dup {
+					return errors.New("flaky")
+				}
+			}
+			return nil
+		}
+		got, err := RunSeeded(r, "det", 7, 40, noisyTask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("workers=%d: out[%d] = %v, serial reference %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// noisyTask consumes an index-dependent amount of randomness, so stream
+// sharing or reseeding bugs corrupt later draws.
+func noisyTask(i int, rng *stats.RNG) (float64, error) {
+	v := 0.0
+	for k := 0; k <= i%7; k++ {
+		v = rng.Float64()
+	}
+	return v, nil
+}
+
+// waitForGoroutines asserts the goroutine count returns to (near) the
+// baseline, polling briefly to let pool workers exit.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

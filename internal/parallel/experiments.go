@@ -22,11 +22,11 @@ type Fig9Point struct {
 
 // Fig9 reproduces Figure 9: the paper's eight-process synthetic job
 // (100 ms synchronization, NEWS messaging) with exactly one non-idle node
-// whose local utilization sweeps 0..90%. The ten points run on a pool of
-// workers goroutines (<= 0 selects GOMAXPROCS).
-func Fig9(seed int64, workers int) ([]Fig9Point, error) {
+// whose local utilization sweeps 0..90%. The ten points run under r's
+// execution policy (nil selects a plain GOMAXPROCS pool) as sweep "fig9".
+func Fig9(r *exp.Runner, seed int64) ([]Fig9Point, error) {
 	cfg := DefaultBSPConfig()
-	return exp.SeededMap(workers, seed, 10, func(i int, rng *stats.RNG) (Fig9Point, error) {
+	return exp.RunSeeded(r, "fig9", seed, 10, func(i int, rng *stats.RNG) (Fig9Point, error) {
 		u := float64(i) / 10
 		sd, err := Slowdown(cfg, utilVector(cfg.Procs, 1, u), rng)
 		if err != nil {
@@ -46,12 +46,13 @@ type Fig10Point struct {
 
 // Fig10 reproduces Figure 10: synchronization granularity from 10 ms to
 // 10 s against slowdown, with 1, 2, 4 and 8 of the eight nodes non-idle at
-// 20% local utilization. The 40 grid points run on the exp worker pool.
-func Fig10(seed int64, workers int) ([]Fig10Point, error) {
+// 20% local utilization. The 40 grid points run under r's execution policy
+// as sweep "fig10".
+func Fig10(r *exp.Runner, seed int64) ([]Fig10Point, error) {
 	granularitiesMS := []float64{10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
 	nonIdleCounts := []int{1, 2, 4, 8}
 	n := len(granularitiesMS) * len(nonIdleCounts)
-	return exp.SeededMap(workers, seed, n, func(i int, rng *stats.RNG) (Fig10Point, error) {
+	return exp.RunSeeded(r, "fig10", seed, n, func(i int, rng *stats.RNG) (Fig10Point, error) {
 		nonIdle := nonIdleCounts[i/len(granularitiesMS)]
 		g := granularitiesMS[i%len(granularitiesMS)]
 		cfg := DefaultBSPConfig()
@@ -79,6 +80,9 @@ type ReconfigConfig struct {
 	MsgLatency   float64
 	Seed         int64
 	Workers      int // sweep worker-pool size; <= 0 selects GOMAXPROCS
+	// Exec, when non-nil, supplies the sweep execution policy (pool size,
+	// retries, watchdog, checkpointing) and takes precedence over Workers.
+	Exec *exp.Runner
 }
 
 // DefaultReconfigConfig returns the paper's Figure 11 setting: a 32-node
@@ -153,7 +157,7 @@ func Fig11(c ReconfigConfig) ([]Fig11Point, error) {
 		return nil, fmt.Errorf("parallel: ClusterSize must be positive, got %d", c.ClusterSize)
 	}
 	n := c.ClusterSize + 1
-	return exp.SeededMap(c.Workers, c.Seed, n, func(i int, rng *stats.RNG) (Fig11Point, error) {
+	return exp.RunSeeded(exp.Or(c.Exec, c.Workers), "fig11", c.Seed, n, func(i int, rng *stats.RNG) (Fig11Point, error) {
 		idle := c.ClusterSize - i
 		pt := Fig11Point{IdleNodes: idle, LL: make(map[int]float64)}
 

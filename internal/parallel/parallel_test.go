@@ -86,7 +86,7 @@ func TestSlowdownOneBusyNodeTracksUtilization(t *testing.T) {
 }
 
 func TestFig9MonotoneAndAnchored(t *testing.T) {
-	pts, err := Fig9(3, 0)
+	pts, err := Fig9(nil, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestFig9MonotoneAndAnchored(t *testing.T) {
 }
 
 func TestFig10CoarserSyncMeansLessSlowdown(t *testing.T) {
-	pts, err := Fig10(4, 0)
+	pts, err := Fig10(nil, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

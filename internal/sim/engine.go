@@ -33,15 +33,47 @@ func (ev *Event) Time() float64 { return ev.time }
 // Cancelled reports whether the event has been cancelled or already fired.
 func (ev *Event) Cancelled() bool { return ev.index < 0 }
 
+// BudgetError reports that an engine fired its event budget without the
+// simulation reaching its end condition — the typed surface of what would
+// otherwise be an infinite event loop in a buggy model (for example an
+// event that keeps rescheduling itself at the current instant).
+type BudgetError struct {
+	Budget uint64  // the configured budget
+	Now    float64 // virtual time when the budget was exhausted
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: event budget of %d exhausted at t=%g (runaway event loop?)", e.Budget, e.Now)
+}
+
 // Engine is a discrete-event simulator. The zero value is a ready-to-use
-// engine with the clock at 0.
+// engine with the clock at 0 and no event budget.
 type Engine struct {
 	now    float64
 	seq    uint64
 	queue  eventQueue
 	fired  uint64
 	halted bool
+	budget uint64 // max events to fire; 0 = unlimited
+	err    error  // sticky *BudgetError once the budget is exhausted
 }
+
+// SetEventBudget bounds the total number of events the engine will fire;
+// n = 0 removes the bound. Once the budget is exhausted Step refuses to
+// fire further events, Run/RunUntil stop, and Err returns a *BudgetError.
+// The budget is the backstop that turns a runaway simulation — which no
+// watchdog can interrupt from outside a goroutine — into a typed error
+// the sweep layer can report and retry.
+func (e *Engine) SetEventBudget(n uint64) {
+	e.budget = n
+	if n == 0 || e.fired < n {
+		e.err = nil
+	}
+}
+
+// Err returns the sticky *BudgetError once the event budget has been
+// exhausted, and nil otherwise.
+func (e *Engine) Err() error { return e.err }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() float64 { return e.now }
@@ -91,9 +123,16 @@ func (e *Engine) Cancel(ev *Event) {
 func (e *Engine) Halt() { e.halted = true }
 
 // Step fires the next event, advancing the clock, and reports whether an
-// event fired.
+// event fired. With an exhausted event budget it fires nothing and
+// returns false; check Err to distinguish that from an empty queue.
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
+		return false
+	}
+	if e.budget > 0 && e.fired >= e.budget {
+		if e.err == nil {
+			e.err = &BudgetError{Budget: e.budget, Now: e.now}
+		}
 		return false
 	}
 	ev := heap.Pop(&e.queue).(*Event)
@@ -119,9 +158,11 @@ func (e *Engine) RunUntil(end float64) {
 	}
 	e.halted = false
 	for !e.halted && len(e.queue) > 0 && e.queue[0].time <= end {
-		e.Step()
+		if !e.Step() {
+			break // budget exhausted; e.Err() reports it
+		}
 	}
-	if !e.halted && e.now < end {
+	if !e.halted && e.err == nil && e.now < end {
 		e.now = end
 	}
 }

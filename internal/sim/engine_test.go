@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"errors"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestScheduleOrdering(t *testing.T) {
@@ -194,5 +197,84 @@ func TestFireOrderQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestEventBudgetStopsRunawayLoop(t *testing.T) {
+	var e Engine
+	e.SetEventBudget(100)
+	// A buggy model: the event reschedules itself at the current instant,
+	// forever. Without the budget Run would never return.
+	var reschedule Handler
+	reschedule = func(en *Engine) { en.Schedule(en.Now(), reschedule) }
+	e.Schedule(0, reschedule)
+	e.Run()
+	if e.Fired() != 100 {
+		t.Errorf("fired %d events, want exactly the budget of 100", e.Fired())
+	}
+	var be *BudgetError
+	if !errors.As(e.Err(), &be) {
+		t.Fatalf("Err() = %v, want *BudgetError", e.Err())
+	}
+	if be.Budget != 100 {
+		t.Errorf("BudgetError.Budget = %d", be.Budget)
+	}
+	if !strings.Contains(be.Error(), "100") {
+		t.Errorf("error text: %v", be)
+	}
+	// The refusal is sticky: further Step calls fire nothing.
+	if e.Step() {
+		t.Error("Step fired past an exhausted budget")
+	}
+}
+
+func TestEventBudgetRunUntilTerminates(t *testing.T) {
+	var e Engine
+	e.SetEventBudget(10)
+	var reschedule Handler
+	reschedule = func(en *Engine) { en.Schedule(en.Now(), reschedule) }
+	e.Schedule(0, reschedule)
+	done := make(chan struct{})
+	go func() {
+		e.RunUntil(5) // would loop forever if Step's refusal were ignored
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunUntil spun forever on an exhausted budget")
+	}
+	if e.Err() == nil {
+		t.Error("Err() = nil after exhaustion")
+	}
+}
+
+func TestEventBudgetZeroMeansUnlimited(t *testing.T) {
+	var e Engine
+	for i := 0; i < 1000; i++ {
+		e.Schedule(float64(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 1000 || e.Err() != nil {
+		t.Errorf("fired=%d err=%v", e.Fired(), e.Err())
+	}
+}
+
+func TestEventBudgetRaiseClearsError(t *testing.T) {
+	var e Engine
+	e.SetEventBudget(1)
+	e.Schedule(0, func(*Engine) {})
+	e.Schedule(1, func(*Engine) {})
+	e.Run()
+	if e.Err() == nil {
+		t.Fatal("budget of 1 not exhausted by 2 events")
+	}
+	e.SetEventBudget(10)
+	if e.Err() != nil {
+		t.Error("raising the budget must clear the sticky error")
+	}
+	e.Run()
+	if e.Fired() != 2 || e.Err() != nil {
+		t.Errorf("fired=%d err=%v after raise", e.Fired(), e.Err())
 	}
 }

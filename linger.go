@@ -153,6 +153,35 @@ func ParallelMap[T any](workers, n int, task func(i int) (T, error)) ([]T, error
 	return exp.Map(workers, n, task)
 }
 
+// Runner executes experiment sweeps with crash safety controls: bounded
+// worker pools, panic isolation, per-point watchdog timeouts, bounded
+// retries, fail-soft collection of failed points, and an optional
+// checkpoint store for kill-and-resume runs. See DESIGN.md §10.
+type Runner = exp.Runner
+
+// NewRunner returns a Runner over a bounded pool of workers goroutines
+// (<= 0 selects GOMAXPROCS).
+func NewRunner(workers int) *Runner { return exp.NewRunner(workers) }
+
+// PointError is the typed failure of one sweep point: which sweep, which
+// index, after how many attempts, wrapping the underlying cause.
+type PointError = exp.PointError
+
+// PanicError is a recovered task panic, carrying the panic value and the
+// goroutine stack at the point of the panic.
+type PanicError = exp.PanicError
+
+// TraceParseError is a trace-ingestion failure pinned to its input line.
+type TraceParseError = trace.ParseError
+
+// LoadTrace reads a trace file in the lltrace text format; malformed,
+// truncated, or non-finite input yields a *TraceParseError naming the
+// offending line, and a nil error guarantees a valid trace.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// SaveTrace writes a trace file in the lltrace text format.
+func SaveTrace(path string, t *Trace) error { return trace.Save(path, t) }
+
 // RunCluster simulates a batch workload to completion.
 func RunCluster(cfg ClusterConfig, corpus []*Trace) (*ClusterResult, error) {
 	return cluster.Run(cfg, corpus)
