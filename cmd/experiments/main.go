@@ -9,6 +9,8 @@
 //	            [-workers 0] [-json results.json] [-timing]
 //	            [-checkpoint DIR | -resume DIR] [-failsoft]
 //	            [-retries 0] [-point-timeout 0]
+//	            [-metrics FILE] [-events FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick shrinks the trace corpus and durations for a fast smoke run.
 // -workers sets the sweep worker-pool size (0 = GOMAXPROCS); every sweep
@@ -26,6 +28,12 @@
 // report zero values, a failure manifest names them, and the exit code is
 // 3 (see DESIGN.md §10). Exit codes: 0 success, 1 runtime failure,
 // 2 usage error, 3 partial results.
+//
+// -metrics dumps every counter/gauge/histogram the run touched as JSON
+// (schema in OBSERVABILITY.md; validate with cmd/obscheck) and appends
+// the deterministic counter table to the Markdown report; -events writes
+// a JSONL event trace; -cpuprofile/-memprofile write pprof profiles. All
+// four are side channels: enabling them never changes results.
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
 	"lingerlonger/internal/node"
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/parallel"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
@@ -58,7 +67,9 @@ func main() {
 	cli.Run("experiments", realMain)
 }
 
-func realMain() error {
+func realMain() (err error) {
+	var o cli.Obs
+	o.RegisterFlags()
 	var (
 		seed    = flag.Int64("seed", 1, "master seed")
 		quick   = flag.Bool("quick", false, "smaller corpus and durations")
@@ -85,6 +96,10 @@ func realMain() error {
 	if *retries < 0 {
 		return cli.Usagef("-retries must be >= 0, got %d", *retries)
 	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	defer o.Finish(&err)
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -101,6 +116,7 @@ func realMain() error {
 		Checkpoint: *ckptDir, Resume: *resumeDir, FailSoft: *failSoft,
 		Retries: *retries, PointTimeout: *pointTO,
 		CrashAfter: *crashAfter, FaultPoint: *faultPoint,
+		Rec: o.Recorder(),
 	}
 	rep, err := run(opts, w)
 	if rep != nil && *jsonOut != "" {
@@ -132,6 +148,12 @@ type options struct {
 	CrashAfter int    // testing: fail checkpoint saves after this many succeed
 	FaultPoint string // testing: "sweep:index:mode" fault injection
 
+	// Rec, when non-nil, instruments the run: counters and histograms
+	// accumulate in its registry and the Markdown report grows a metrics
+	// appendix. Metrics are outputs only — no experiment reads them — so
+	// enabling them never changes a result (DESIGN.md §11).
+	Rec *obs.Recorder
+
 	// StatsOut, when non-nil, receives the runner's counters after the
 	// run — the resume tests assert Restored > 0 through it.
 	StatsOut *exp.Stats
@@ -162,6 +184,7 @@ func run(opts options, w io.Writer) (*Report, error) {
 	runner.Attempts = opts.Retries + 1
 	runner.Timeout = opts.PointTimeout
 	runner.FailSoft = opts.FailSoft
+	runner.Rec = opts.Rec
 	if opts.FaultPoint != "" {
 		hook, err := parseFaultPoint(opts.FaultPoint)
 		if err != nil {
@@ -193,7 +216,7 @@ func run(opts options, w io.Writer) (*Report, error) {
 	}
 
 	start := time.Now()
-	r := &reporter{w: w, seed: opts.Seed, workers: opts.Workers, runner: runner}
+	r := &reporter{w: w, seed: opts.Seed, workers: opts.Workers, runner: runner, rec: opts.Rec}
 	if opts.JSON {
 		r.report = &Report{
 			SchemaVersion: 1,
@@ -225,20 +248,33 @@ func run(opts options, w io.Writer) (*Report, error) {
 	}
 	table := workload.DefaultTable()
 
-	steps := []func() error{
-		func() error { return r.fig2(table) },
-		func() error { return r.fig3(table) },
-		func() error { return r.sec32(corpus) },
-		func() error { return r.fig4(corpus) },
-		func() error { return r.fig5(table) },
-		func() error { return r.fig7and8(corpus, tpDur) },
-		r.fig9,
-		r.fig10,
-		r.fig11,
-		r.fig12,
-		r.fig13,
-		func() error { return r.arrivals(corpus) },
-		r.hybrid,
+	// -timing is a view over the metric registry: every step's wall-clock
+	// lands in an exp.figure_seconds{figure=...} gauge (steps run
+	// sequentially, so a last-write-wins gauge is exact) and the JSON
+	// report reads the values back from the registry. Without -metrics the
+	// registry is private to this run and never exported.
+	treg := opts.Rec.Registry()
+	if treg == nil && opts.Timing {
+		treg = obs.NewRegistry()
+	}
+
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"fig2", func() error { return r.fig2(table) }},
+		{"fig3", func() error { return r.fig3(table) }},
+		{"sec32", func() error { return r.sec32(corpus) }},
+		{"fig4", func() error { return r.fig4(corpus) }},
+		{"fig5", func() error { return r.fig5(table) }},
+		{"fig7_8", func() error { return r.fig7and8(corpus, tpDur) }},
+		{"fig9", r.fig9},
+		{"fig10", r.fig10},
+		{"fig11", r.fig11},
+		{"fig12", r.fig12},
+		{"fig13", r.fig13},
+		{"arrivals", func() error { return r.arrivals(corpus) }},
+		{"hybrid", r.hybrid},
 	}
 	for _, step := range steps {
 		before := 0
@@ -246,11 +282,14 @@ func run(opts options, w io.Writer) (*Report, error) {
 			before = len(r.report.Figures)
 		}
 		t0 := time.Now()
-		if err := step(); err != nil {
+		if err := step.fn(); err != nil {
 			return nil, err
 		}
+		g := treg.Gauge(obs.Labeled(obs.ExpFigureSeconds, "figure", step.name))
+		g.Set(time.Since(t0).Seconds())
 		if r.report != nil && opts.Timing {
-			ms := float64(time.Since(t0).Microseconds()) / 1000
+			secs, _ := g.Value()
+			ms := math.Round(secs*1e6) / 1000
 			for i := before; i < len(r.report.Figures); i++ {
 				r.report.Figures[i].WallMS = ms
 			}
@@ -261,6 +300,9 @@ func run(opts options, w io.Writer) (*Report, error) {
 	fmt.Fprintf(w, "\n---\nTotal run time: %s\n", total.Round(time.Millisecond))
 	if r.report != nil && opts.Timing {
 		r.report.TotalWallMS = float64(total.Microseconds()) / 1000
+	}
+	if reg := opts.Rec.Registry(); reg != nil {
+		writeMetricsAppendix(w, reg)
 	}
 
 	st := runner.Stats()
@@ -287,6 +329,24 @@ func run(opts options, w io.Writer) (*Report, error) {
 			len(fails), fails[0].Sweep, fails[0].Index, fails[0].Err, cli.ErrPartial)
 	}
 	return r.report, nil
+}
+
+// writeMetricsAppendix renders the run's counters as a Markdown table.
+// Counters only: they are sums of deterministic per-simulation tallies, so
+// the appendix — like the rest of the report — is byte-identical for any
+// -workers value. Gauges and histogram shapes stay in the -metrics JSON.
+func writeMetricsAppendix(w io.Writer, reg *obs.Registry) {
+	names := reg.CounterNames()
+	if len(names) == 0 {
+		return
+	}
+	vals := reg.CounterValues()
+	fmt.Fprintf(w, "\n## Appendix: metrics (deterministic counters)\n\n")
+	fmt.Fprintf(w, "Collected because the run was instrumented (`-metrics`); see\nOBSERVABILITY.md for each counter's meaning and paper mapping.\n\n")
+	fmt.Fprintf(w, "| counter | value |\n|---|---|\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "| %s | %d |\n", n, vals[n])
+	}
 }
 
 // failureManifest converts runner failures to the checkpoint manifest
@@ -344,7 +404,8 @@ type reporter struct {
 	seed    int64
 	workers int
 	runner  *exp.Runner
-	report  *Report // nil when -json is off
+	rec     *obs.Recorder // nil when the run is uninstrumented
+	report  *Report       // nil when -json is off
 }
 
 func (r *reporter) section(title string) { fmt.Fprintf(r.w, "## %s\n\n", title) }
@@ -428,6 +489,7 @@ func (r *reporter) fig5(table *workload.Table) error {
 	r.section("E4 — Figure 5: LDR and FCSR on one node")
 	cfg := node.DefaultFig5Config()
 	cfg.Seed = r.seed
+	cfg.Rec = r.rec
 	pts := node.Fig5(table, cfg)
 	worst := map[float64]float64{}
 	minFCSR := map[float64]float64{}
@@ -479,6 +541,7 @@ func (r *reporter) fig7and8(corpus []*trace.Trace, tpDur float64) error {
 			cfg = cluster.Workload2(0)
 		}
 		cfg.Seed = r.seed
+		cfg.Rec = r.rec
 		cfg.Exec = r.runner.Named(fmt.Sprintf("wl%d", wl))
 		rows, err := cluster.Fig7(cfg, corpus, tpDur)
 		if err != nil {
@@ -692,6 +755,7 @@ func (r *reporter) arrivals(corpus []*trace.Trace) error {
 			Duration: 3600,
 		}
 		cfg.Cluster.Seed = r.seed
+		cfg.Cluster.Rec = r.rec
 		res, err := cluster.RunArrivals(cfg, corpus)
 		if err != nil {
 			return cluster.ArrivalsResult{}, err

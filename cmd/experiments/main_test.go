@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"regexp"
 	"strings"
 	"testing"
+
+	"lingerlonger/internal/obs"
 )
 
 // TestQuickReportDeterministicAcrossWorkers is the acceptance check for
@@ -87,6 +90,112 @@ func TestQuickReportSeedSensitivity(t *testing.T) {
 	}
 	if bytes.Equal(b1, b2) {
 		t.Error("seeds 1 and 2 produced identical reports; seed is not reaching the sweeps")
+	}
+}
+
+// TestQuickReportDeterministicWithMetrics is the side-channel acceptance
+// check for the observability layer: instrumenting a run must not change
+// its results, and the deterministic slice of the metrics themselves (the
+// counters, which are sums of per-simulation tallies) must be identical
+// for any worker count. Wall-clock artifacts (gauges, the point-latency
+// histogram) are exempt by design — they live only in the -metrics file
+// and are documented as machine-dependent.
+func TestQuickReportDeterministicWithMetrics(t *testing.T) {
+	type outcome struct {
+		md       string
+		json     []byte
+		counters map[string]int64
+		metrics  []byte
+	}
+	runWith := func(workers int, instrument bool) outcome {
+		t.Helper()
+		var rec *obs.Recorder
+		if instrument {
+			rec = obs.New(obs.NewRegistry(), nil)
+		}
+		var md bytes.Buffer
+		rep, err := run(options{Seed: 1, Quick: true, Workers: workers, JSON: true, Rec: rec}, &md)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		js, err := marshalReport(rep)
+		if err != nil {
+			t.Fatalf("workers=%d: marshal: %v", workers, err)
+		}
+		out := outcome{md: md.String(), json: js}
+		if instrument {
+			out.counters = rec.Registry().CounterValues()
+			var mbuf bytes.Buffer
+			if err := rec.Registry().WriteJSON(&mbuf); err != nil {
+				t.Fatalf("workers=%d: metrics: %v", workers, err)
+			}
+			out.metrics = mbuf.Bytes()
+		}
+		return out
+	}
+
+	serial := runWith(1, true)
+	parallel := runWith(8, true)
+	plain := runWith(4, false)
+
+	// Instrumentation is a side channel: the JSON report of an
+	// instrumented run must equal an uninstrumented run's byte for byte.
+	if !bytes.Equal(serial.json, plain.json) {
+		t.Errorf("enabling metrics changed the JSON report:\n%s",
+			firstDiff(string(serial.json), string(plain.json)))
+	}
+	if !bytes.Equal(serial.json, parallel.json) {
+		t.Errorf("instrumented JSON differs between -workers 1 and -workers 8:\n%s",
+			firstDiff(string(serial.json), string(parallel.json)))
+	}
+
+	// The Markdown — including the metrics appendix — must match across
+	// worker counts once the one legitimately varying line is normalized.
+	wallRE := regexp.MustCompile(`Total run time: [^\n]*`)
+	norm := func(s string) string { return wallRE.ReplaceAllString(s, "Total run time: X") }
+	if norm(serial.md) != norm(parallel.md) {
+		t.Errorf("instrumented Markdown differs between -workers 1 and -workers 8:\n%s",
+			firstDiff(norm(serial.md), norm(parallel.md)))
+	}
+	if !strings.Contains(serial.md, "## Appendix: metrics") {
+		t.Errorf("instrumented run did not render the metrics appendix")
+	}
+	if strings.Contains(plain.md, "## Appendix: metrics") {
+		t.Errorf("uninstrumented run rendered a metrics appendix")
+	}
+
+	// Counter-for-counter equality, with a few spot checks that the
+	// instrumentation reached every layer.
+	if len(serial.counters) == 0 {
+		t.Fatal("instrumented run recorded no counters")
+	}
+	for name, v := range serial.counters {
+		if pv, ok := parallel.counters[name]; !ok || pv != v {
+			t.Errorf("counter %q: workers=1 has %d, workers=8 has %v", name, v, pv)
+		}
+	}
+	for name, pv := range parallel.counters {
+		if _, ok := serial.counters[name]; !ok {
+			t.Errorf("counter %q only present with workers=8 (value %d)", name, pv)
+		}
+	}
+	for _, want := range []string{
+		obs.SimEventsFired,
+		obs.NodePreemptions,
+		obs.BSPPhases,
+		obs.ExpPointsComputed,
+		obs.Labeled(obs.ClusterMigrations, "policy", "LL"),
+	} {
+		if serial.counters[want] == 0 {
+			t.Errorf("counter %q is zero after a full -quick run; a layer lost its wiring", want)
+		}
+	}
+
+	// Both dumps must satisfy the published schema.
+	for workers, m := range map[int][]byte{1: serial.metrics, 8: parallel.metrics} {
+		if err := obs.ValidateMetricsJSON(m); err != nil {
+			t.Errorf("workers=%d metrics dump fails schema validation: %v", workers, err)
+		}
 	}
 }
 

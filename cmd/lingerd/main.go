@@ -39,6 +39,7 @@ import (
 	"lingerlonger/internal/cli"
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/runtime"
 )
 
@@ -46,7 +47,9 @@ func main() {
 	cli.Run("lingerd", realMain)
 }
 
-func realMain() error {
+func realMain() (err error) {
+	var o cli.Obs
+	o.RegisterFlags()
 	var (
 		agentMode = flag.Bool("agent", false, "serve a workstation agent")
 		coordMode = flag.Bool("coordinator", false, "drive a set of agents")
@@ -58,29 +61,34 @@ func realMain() error {
 		busyAfter = flag.Float64("busyafter", 60, "agent: seconds of idleness before the owner returns")
 		totalMB   = flag.Float64("mem", 64, "agent: machine memory, MB")
 
-		agents  = flag.String("agents", "", "coordinator: comma-separated agent addresses")
-		policy  = flag.String("policy", "LL", "coordinator: LL, LF, IE, or PM")
-		jobs    = flag.Int("jobs", 4, "coordinator: jobs to submit")
-		demand  = flag.Float64("demand", 120, "coordinator: CPU seconds per job")
-		steps   = flag.Int("steps", 600, "coordinator: virtual seconds to run")
+		agents    = flag.String("agents", "", "coordinator: comma-separated agent addresses")
+		policy    = flag.String("policy", "LL", "coordinator: LL, LF, IE, or PM")
+		jobs      = flag.Int("jobs", 4, "coordinator: jobs to submit")
+		demand    = flag.Float64("demand", 120, "coordinator: CPU seconds per job")
+		steps     = flag.Int("steps", 600, "coordinator: virtual seconds to run")
 		faultSpec = flag.String("fault", "", "fault injection spec, e.g. drop=0.05,seed=42 (alone: run the fault demo)")
-		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON report instead of progress lines")
-		seed    = flag.Int64("seed", 1, "master seed for retry jitter streams")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report instead of progress lines")
+		seed      = flag.Int64("seed", 1, "master seed for retry jitter streams")
 	)
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	defer o.Finish(&err)
+	rec := o.Recorder()
 	switch {
 	case *agentMode:
-		return runAgent(*listen, *name, *util, *busyAfter, *totalMB)
+		return runAgent(*listen, *name, *util, *busyAfter, *totalMB, rec)
 	case *coordMode:
-		return runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, *seed, *jsonOut)
+		return runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, *seed, *jsonOut, rec)
 	case *demoMode:
-		return runDemo(*jsonOut)
+		return runDemo(*jsonOut, rec)
 	case *faultSpec != "":
-		return runFaultDemo(*faultSpec, *policy, *jobs, *demand, *steps, *jsonOut)
+		return runFaultDemo(*faultSpec, *policy, *jobs, *demand, *steps, *jsonOut, rec)
 	default:
 		return cli.Usagef("one of -agent, -coordinator, -demo, or -fault is required")
 	}
@@ -99,7 +107,7 @@ func ownerScript(busyAfter, util float64) *runtime.ScriptedOwner {
 	return owner
 }
 
-func runAgent(listen, name string, util, busyAfter, totalMB float64) error {
+func runAgent(listen, name string, util, busyAfter, totalMB float64, rec *obs.Recorder) error {
 	if name == "" {
 		name = listen
 	}
@@ -107,7 +115,9 @@ func runAgent(listen, name string, util, busyAfter, totalMB float64) error {
 	if err != nil {
 		return err
 	}
-	srv := runtime.NewAgentServer(runtime.NewAgent(name, ownerScript(busyAfter, util), totalMB), l)
+	a := runtime.NewAgent(name, ownerScript(busyAfter, util), totalMB)
+	a.SetRecorder(rec)
+	srv := runtime.NewAgentServer(a, l)
 	fmt.Printf("agent %q serving on %s (owner busy at %.0f%% after %.0fs)\n",
 		name, srv.Addr(), 100*util, busyAfter)
 	ch := make(chan os.Signal, 1)
@@ -117,7 +127,7 @@ func runAgent(listen, name string, util, busyAfter, totalMB float64) error {
 	return nil
 }
 
-func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int, faultSpec string, seed int64, jsonOut bool) error {
+func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int, faultSpec string, seed int64, jsonOut bool, rec *obs.Recorder) error {
 	p, err := core.ParsePolicy(policyName)
 	if err != nil {
 		return cli.Usagef("%v", err)
@@ -159,10 +169,11 @@ func runCoordinator(addrs []string, policyName string, jobs int, demand float64,
 	}
 	cfg := runtime.DefaultCoordinatorConfig()
 	cfg.Policy = p
-	return drive(cfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: faultSpec, jsonOut: jsonOut})
+	cfg.Rec = rec
+	return drive(cfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: faultSpec, jsonOut: jsonOut, rec: rec})
 }
 
-func runDemo(jsonOut bool) error {
+func runDemo(jsonOut bool, rec *obs.Recorder) error {
 	if !jsonOut {
 		fmt.Println("demo: three loopback-TCP agents; 'alpha' turns busy after 40s; policy LL")
 	}
@@ -177,7 +188,9 @@ func runDemo(jsonOut bool) error {
 		if err != nil {
 			return err
 		}
-		srv := runtime.NewAgentServer(runtime.NewAgent(name, owners[name], 64), l)
+		a := runtime.NewAgent(name, owners[name], 64)
+		a.SetRecorder(rec)
+		srv := runtime.NewAgentServer(a, l)
 		defer srv.Close()
 		c, err := runtime.DialAgent(srv.Addr().String())
 		if err != nil {
@@ -189,14 +202,16 @@ func runDemo(jsonOut bool) error {
 			fmt.Printf("  agent %q on %s\n", name, srv.Addr())
 		}
 	}
-	return drive(runtime.DefaultCoordinatorConfig(), clients, nil, driveOpts{jobs: 2, demand: 150, steps: 400, policy: "LL", jsonOut: jsonOut})
+	ccfg := runtime.DefaultCoordinatorConfig()
+	ccfg.Rec = rec
+	return drive(ccfg, clients, nil, driveOpts{jobs: 2, demand: 150, steps: 400, policy: "LL", jsonOut: jsonOut, rec: rec})
 }
 
 // runFaultDemo drives four in-process agents behind a simulated lossy
 // network. The run is fully deterministic: the injector's verdicts are a
 // pure function of the spec's seed, retries consume seeded jitter streams,
 // and time is virtual, so repeated runs emit byte-identical reports.
-func runFaultDemo(spec, policyName string, jobs int, demand float64, steps int, jsonOut bool) error {
+func runFaultDemo(spec, policyName string, jobs int, demand float64, steps int, jsonOut bool, rec *obs.Recorder) error {
 	p, err := core.ParsePolicy(policyName)
 	if err != nil {
 		return cli.Usagef("%v", err)
@@ -232,11 +247,14 @@ func runFaultDemo(spec, policyName string, jobs int, demand float64, steps int, 
 	for i, name := range []string{"alpha", "beta", "gamma", "delta"} {
 		retry := runtime.DefaultRetryConfig()
 		retry.Seed = exp.DeriveSeed(cfg.Seed, i)
-		clients = append(clients, runtime.NewFaultClient(runtime.NewAgent(name, owners[name], 64), inj, retry, counters))
+		a := runtime.NewAgent(name, owners[name], 64)
+		a.SetRecorder(rec)
+		clients = append(clients, runtime.NewFaultClient(a, inj, retry, counters))
 	}
 	ccfg := runtime.DefaultCoordinatorConfig()
 	ccfg.Policy = p
-	return drive(ccfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: spec, jsonOut: jsonOut})
+	ccfg.Rec = rec
+	return drive(ccfg, clients, counters, driveOpts{jobs: jobs, demand: demand, steps: steps, policy: policyName, faultSpec: spec, jsonOut: jsonOut, rec: rec})
 }
 
 // driveOpts carries the run parameters into the shared driver.
@@ -247,6 +265,7 @@ type driveOpts struct {
 	policy    string
 	faultSpec string
 	jsonOut   bool
+	rec       *obs.Recorder // nil when the run is uninstrumented
 }
 
 // report is the deterministic JSON summary of a run: a pure function of
@@ -321,6 +340,9 @@ func drive(cfg runtime.CoordinatorConfig, clients []runtime.AgentClient, counter
 	if err := coord.CheckInvariants(); err != nil {
 		return err
 	}
+	// Transport tallies reach the registry in one end-of-run mirror, so
+	// the RPC hot path stays free of observability cost.
+	counters.Mirror(opts.rec)
 	if opts.jsonOut {
 		r := report{
 			Policy:     opts.policy,

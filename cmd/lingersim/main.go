@@ -7,6 +7,12 @@
 //
 //	lingersim [-nodes 64] [-workload 1|2] [-policy LL|LF|IE|PM|all]
 //	          [-breakdown] [-seed 1] [-tpdur 3600] [-machines 16] [-days 2]
+//	          [-metrics FILE] [-events FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// The observability flags record what a run did — per-policy scheduling
+// counters, a JSONL event trace of placements/migrations/evictions/
+// lingers, pprof profiles — without participating in it; enabling them
+// never changes results (see OBSERVABILITY.md).
 //
 // Exit codes: 0 on success, 1 on runtime failure, 2 on usage errors.
 package main
@@ -27,7 +33,9 @@ func main() {
 	cli.Run("lingersim", realMain)
 }
 
-func realMain() error {
+func realMain() (err error) {
+	var o cli.Obs
+	o.RegisterFlags()
 	var (
 		nodes     = flag.Int("nodes", 64, "cluster size")
 		workload  = flag.Int("workload", 1, "paper workload: 1 (128x600s) or 2 (16x1800s)")
@@ -42,6 +50,10 @@ func realMain() error {
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	defer o.Finish(&err)
 
 	tcfg := trace.DefaultConfig()
 	tcfg.Days = *days
@@ -61,6 +73,7 @@ func realMain() error {
 	}
 	cfg.Nodes = *nodes
 	cfg.Seed = *seed
+	cfg.Rec = o.Recorder()
 
 	pols := core.Policies
 	if *policy != "all" {

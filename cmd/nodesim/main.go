@@ -6,6 +6,10 @@
 // Usage:
 //
 //	nodesim [-dur 2000] [-seed 1] [-cs 100,300,500]
+//	        [-metrics FILE] [-events FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// The observability flags record what a run did (node.preemptions, pprof
+// profiles) without participating in it; see OBSERVABILITY.md.
 //
 // Exit codes: 0 on success, 1 on runtime failure, 2 on usage errors.
 package main
@@ -25,7 +29,9 @@ func main() {
 	cli.Run("nodesim", realMain)
 }
 
-func realMain() error {
+func realMain() (err error) {
+	var o cli.Obs
+	o.RegisterFlags()
 	var (
 		dur    = flag.Float64("dur", 2000, "simulated seconds per point")
 		seed   = flag.Int64("seed", 1, "simulation seed")
@@ -35,10 +41,15 @@ func realMain() error {
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	defer o.Finish(&err)
 
 	cfg := node.DefaultFig5Config()
 	cfg.Duration = *dur
 	cfg.Seed = *seed
+	cfg.Rec = o.Recorder()
 	cfg.ContextSwitches = nil
 	for _, s := range strings.Split(*csList, ",") {
 		us, err := strconv.ParseFloat(strings.TrimSpace(s), 64)

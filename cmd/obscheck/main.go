@@ -1,0 +1,53 @@
+// Command obscheck validates metrics files written by the -metrics flag
+// of the other commands: schema version, section shape, catalogued names,
+// kind agreement, and internal histogram consistency (bucket tallies must
+// sum to the observation count). CI runs it against a fresh
+// `experiments -quick -metrics` dump so a drift between the obs package
+// and its documented schema fails the build, not a downstream consumer.
+//
+// Usage:
+//
+//	obscheck FILE...
+//
+// Exit codes: 0 when every file validates, 1 when any fails, 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lingerlonger/internal/cli"
+	"lingerlonger/internal/obs"
+)
+
+func main() {
+	cli.Run("obscheck", realMain)
+}
+
+func realMain() error {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return cli.Usagef("usage: obscheck FILE...")
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		if err := obs.ValidateMetricsJSON(data); err != nil {
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d file(s) failed validation", failed, flag.NArg())
+	}
+	return nil
+}

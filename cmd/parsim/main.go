@@ -6,10 +6,13 @@
 // Usage:
 //
 //	parsim [-seed 1] [-workers 0] [-fig9] [-fig10] [-fig11] [-fig12] [-fig13]
+//	       [-metrics FILE] [-events FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no flag it runs every figure. -workers sizes the sweep worker pool
 // (0 = GOMAXPROCS); results are identical for every worker count because
-// each sweep point derives its own RNG seed from (seed, index).
+// each sweep point derives its own RNG seed from (seed, index). The
+// observability flags (bsp.phases, node.preemptions, exp.points.*; see
+// OBSERVABILITY.md) are side channels and never change results either.
 //
 // Exit codes follow the internal/cli convention: 0 success, 1 runtime
 // failure, 2 usage error.
@@ -28,7 +31,9 @@ import (
 
 func main() { cli.Run("parsim", realMain) }
 
-func realMain() error {
+func realMain() (err error) {
+	var o cli.Obs
+	o.RegisterFlags()
 	var (
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
@@ -42,8 +47,13 @@ func realMain() error {
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	defer o.Finish(&err)
 	all := !*fig9 && !*fig10 && !*fig11 && !*fig12 && !*fig13
 	runner := exp.NewRunner(*workers)
+	runner.Rec = o.Recorder()
 
 	if all || *fig9 {
 		pts, err := parallel.Fig9(runner, *seed)

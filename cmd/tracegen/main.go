@@ -10,8 +10,11 @@
 //	tracegen -export DIR          write the corpus as DIR/machine-NNN.trace
 //	tracegen -load DIR -stats     analyze traces read back from DIR
 //
-// With no figure flag it prints the corpus statistics. Exit codes: 0 on
-// success, 1 on runtime failure, 2 on usage errors.
+// With no figure flag it prints the corpus statistics. The shared
+// observability flags (-metrics, -events, -cpuprofile, -memprofile) are
+// accepted too; trace generation runs no simulator, so the profiles are
+// the useful ones here. Exit codes: 0 on success, 1 on runtime failure,
+// 2 on usage errors.
 package main
 
 import (
@@ -32,7 +35,9 @@ func main() {
 	cli.Run("tracegen", realMain)
 }
 
-func realMain() error {
+func realMain() (err error) {
+	var o cli.Obs
+	o.RegisterFlags()
 	var (
 		machines  = flag.Int("machines", 8, "number of machines in the corpus")
 		days      = flag.Int("days", 7, "trace length, days")
@@ -54,6 +59,10 @@ func realMain() error {
 	if !*fig2 && !*fig3 && !*fig4 && *export == "" {
 		*showStats = true
 	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	defer o.Finish(&err)
 
 	table := workload.DefaultTable()
 

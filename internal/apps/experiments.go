@@ -35,6 +35,7 @@ func baselines(r *exp.Runner, sweep string, master int64, procs int) ([]float64,
 		if err != nil {
 			return 0, err
 		}
+		cfg.Rec = r.Recorder()
 		return parallel.RunBSP(cfg, make([]float64, procs), rng)
 	})
 }
@@ -66,6 +67,7 @@ func Fig12(r *exp.Runner, seed int64) ([]Fig12Point, error) {
 		if err != nil {
 			return Fig12Point{}, err
 		}
+		cfg.Rec = r.Recorder()
 		uv := make([]float64, procs)
 		for k := 0; k < nonIdle; k++ {
 			uv[k] = lusg
@@ -142,6 +144,7 @@ func Fig13(cfg Fig13Config) ([]Fig13Point, error) {
 			if err != nil {
 				return 0, err
 			}
+			c.Rec = r.Recorder()
 			utils := make([]float64, procs)
 			for k := 0; k < nonIdle && k < procs; k++ {
 				utils[k] = cfg.NonIdleUtil

@@ -157,6 +157,7 @@ func FigHybrid(cfg Fig13Config) ([]HybridPoint, error) {
 		if err != nil {
 			return HybridPoint{}, err
 		}
+		c.Rec = r.Recorder()
 		nonIdle := choice.Procs - idle
 		if nonIdle < 0 {
 			nonIdle = 0

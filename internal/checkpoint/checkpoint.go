@@ -32,6 +32,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
+
+	"lingerlonger/internal/obs"
 )
 
 // SchemaVersion is the on-disk layout version; Open refuses manifests
@@ -82,6 +85,24 @@ type Run struct {
 	mu        sync.Mutex
 	failAfter int // saves remaining before the fault hook fires; -1 = disarmed
 	failErr   error
+
+	// Observability handles (nil when no recorder is attached). Latency
+	// histograms measure wall-clock, so they vary run to run — they are a
+	// profiling side channel, never part of deterministic output.
+	cSaves   *obs.Counter
+	cLoads   *obs.Counter
+	hSave    *obs.Histogram
+	hRestore *obs.Histogram
+}
+
+// SetRecorder attaches an observability recorder: Save and Lookup count
+// checkpoint.saves / checkpoint.restores and observe their wall-clock
+// latencies into checkpoint.save_seconds / checkpoint.restore_seconds.
+func (r *Run) SetRecorder(rec *obs.Recorder) {
+	r.cSaves = rec.Counter(obs.CheckpointSaves)
+	r.cLoads = rec.Counter(obs.CheckpointRestores)
+	r.hSave = rec.Histogram(obs.CheckpointSaveSeconds)
+	r.hRestore = rec.Histogram(obs.CheckpointRestoreSeconds)
 }
 
 // Create initialises dir as a fresh checkpointed run: the directory is
@@ -203,10 +224,21 @@ func (r *Run) Save(sweep string, index int, data []byte) error {
 	if err != nil {
 		return err
 	}
+	var start time.Time
+	if r.hSave != nil {
+		start = time.Now()
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("checkpoint: save %s[%d]: %w", sweep, index, err)
 	}
-	return atomicWrite(path, frame(data))
+	if err := atomicWrite(path, frame(data)); err != nil {
+		return err
+	}
+	r.cSaves.Inc()
+	if r.hSave != nil {
+		r.hSave.Observe(time.Since(start).Seconds())
+	}
+	return nil
 }
 
 // Lookup returns the stored snapshot for (sweep, index), or ok=false when
@@ -219,6 +251,10 @@ func (r *Run) Lookup(sweep string, index int) (data []byte, ok bool, err error) 
 	if err != nil {
 		return nil, false, err
 	}
+	var start time.Time
+	if r.hRestore != nil {
+		start = time.Now()
+	}
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, false, nil
@@ -229,6 +265,10 @@ func (r *Run) Lookup(sweep string, index int) (data []byte, ok bool, err error) 
 	payload, ok := unframe(raw)
 	if !ok {
 		return nil, false, nil // damaged snapshot: recompute the point
+	}
+	r.cLoads.Inc()
+	if r.hRestore != nil {
+		r.hRestore.Observe(time.Since(start).Seconds())
 	}
 	return payload, true, nil
 }

@@ -1,0 +1,147 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"lingerlonger/internal/obs"
+)
+
+// Obs is the shared observability flag bundle every command registers:
+//
+//	-metrics FILE     write a JSON metrics dump (see OBSERVABILITY.md)
+//	-events FILE      write a JSONL event trace
+//	-cpuprofile FILE  write a pprof CPU profile
+//	-memprofile FILE  write a pprof heap profile (captured at exit)
+//
+// Usage in a command's realMain:
+//
+//	var o cli.Obs
+//	o.RegisterFlags()
+//	flag.Parse()
+//	if err := o.Start(); err != nil { return err }
+//	defer o.Finish(&err)           // needs a named error return
+//	... pass o.Recorder() into configs ...
+//
+// All four outputs are side channels: they record what a run did without
+// participating in it, so enabling any of them never changes results
+// (DESIGN.md §11). With none of the flags set, Recorder() returns nil and
+// instrumented code pays one nil-check branch per site.
+type Obs struct {
+	metricsPath string
+	eventsPath  string
+	cpuPath     string
+	memPath     string
+
+	rec         *obs.Recorder
+	reg         *obs.Registry
+	sink        *obs.EventSink
+	metricsFile *os.File
+	eventsFile  *os.File
+	cpuFile     *os.File
+	started     time.Time
+}
+
+// RegisterFlags registers the four observability flags on the default
+// flag set. Call before flag.Parse.
+func (o *Obs) RegisterFlags() {
+	flag.StringVar(&o.metricsPath, "metrics", "", "write a JSON metrics dump to `file` at exit (see OBSERVABILITY.md)")
+	flag.StringVar(&o.eventsPath, "events", "", "write a JSONL event trace to `file`")
+	flag.StringVar(&o.cpuPath, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	flag.StringVar(&o.memPath, "memprofile", "", "write a pprof heap profile to `file` at exit")
+}
+
+// MetricsEnabled reports whether -metrics was given (used by commands
+// that add a metrics appendix to their report).
+func (o *Obs) MetricsEnabled() bool { return o.metricsPath != "" }
+
+// Start opens the requested outputs and begins profiling. Call after
+// flag.Parse and before the run; pair with Finish.
+func (o *Obs) Start() error {
+	o.started = time.Now()
+	if o.metricsPath != "" {
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return fmt.Errorf("create metrics file: %w", err)
+		}
+		o.metricsFile = f
+		o.reg = obs.NewRegistry()
+	}
+	if o.eventsPath != "" {
+		f, err := os.Create(o.eventsPath)
+		if err != nil {
+			return fmt.Errorf("create events file: %w", err)
+		}
+		o.eventsFile = f
+		o.sink = obs.NewEventSink(f)
+		if o.reg == nil {
+			// Events without metrics still need a registry: the recorder's
+			// counter handles must resolve (they're just never exported).
+			o.reg = obs.NewRegistry()
+		}
+	}
+	o.rec = obs.New(o.reg, o.sink)
+	if o.cpuPath != "" {
+		f, err := os.Create(o.cpuPath)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		o.cpuFile = f
+	}
+	return nil
+}
+
+// Recorder returns the run's recorder — nil when neither -metrics nor
+// -events was given, which is the disabled fast path.
+func (o *Obs) Recorder() *obs.Recorder { return o.rec }
+
+// Registry returns the metric registry (nil when observability is off).
+func (o *Obs) Registry() *obs.Registry { return o.reg }
+
+// Finish stops profiles and flushes the metrics and event files. It takes
+// the command's named error return by pointer so a flush failure turns a
+// successful run into a failed one without masking an earlier error:
+//
+//	func realMain() (err error) { ...; defer o.Finish(&err); ... }
+func (o *Obs) Finish(errp *error) {
+	fail := func(err error) {
+		if err != nil && *errp == nil {
+			*errp = err
+		}
+	}
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		fail(o.cpuFile.Close())
+		o.cpuFile = nil
+	}
+	if o.memPath != "" {
+		f, err := os.Create(o.memPath)
+		if err != nil {
+			fail(fmt.Errorf("create mem profile: %w", err))
+		} else {
+			runtime.GC() // materialize up-to-date allocation stats
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}
+		o.memPath = ""
+	}
+	if o.sink != nil {
+		fail(o.sink.Close())
+		fail(o.eventsFile.Close())
+		o.sink, o.eventsFile = nil, nil
+	}
+	if o.metricsFile != nil {
+		o.reg.Gauge(obs.RunWallSeconds).Set(time.Since(o.started).Seconds())
+		fail(o.reg.WriteJSON(o.metricsFile))
+		fail(o.metricsFile.Close())
+		o.metricsFile = nil
+	}
+}

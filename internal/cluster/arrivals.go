@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/sim"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
@@ -66,6 +67,7 @@ func RunArrivals(cfg ArrivalsConfig, corpus []*trace.Trace) (*ArrivalsResult, er
 	// instead of an infinite loop.
 	var engine sim.Engine
 	engine.SetEventBudget(uint64(cfg.Rate*cfg.Duration*4) + 10000)
+	engine.SetRecorder(ccfg.Rec)
 	arrivalRNG := stats.NewRNG(ccfg.Seed ^ 0x5ca1ab1e)
 	arrived := 0
 	var schedule func(at float64)
@@ -98,6 +100,7 @@ func RunArrivals(cfg ArrivalsConfig, corpus []*trace.Trace) (*ArrivalsResult, er
 		}
 	}
 
+	ccfg.Rec.Histogram(obs.SimRunSeconds).Observe(s.now)
 	res := &ArrivalsResult{
 		Arrived:     arrived,
 		OfferedLoad: cfg.Rate * ccfg.JobCPU / float64(ccfg.Nodes),

@@ -7,6 +7,7 @@ import (
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
 	"lingerlonger/internal/node"
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/predict"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
@@ -56,6 +57,14 @@ type Config struct {
 	// retries, watchdog, checkpointing) for those drivers and takes
 	// precedence over Workers.
 	Exec *exp.Runner
+
+	// Rec, when non-nil, receives per-policy scheduling counters
+	// (cluster.migrations, cluster.evictions, cluster.lingers,
+	// cluster.placements, cluster.completions — all labeled {policy=...})
+	// and, when a trace sink is attached, one event per scheduling
+	// decision. Metrics and events are outputs only: no simulation
+	// decision reads them, so enabling the recorder never changes results.
+	Rec *obs.Recorder
 }
 
 // Placement is the strategy for choosing a destination among eligible
@@ -202,6 +211,27 @@ type simulation struct {
 	migrations  int
 	evictions   int
 	completed   int
+
+	// Observability (nil handles when cfg.Rec is nil — every call below
+	// is then a single-branch no-op).
+	rec     *obs.Recorder
+	cMigr   *obs.Counter
+	cEvict  *obs.Counter
+	cLinger *obs.Counter
+	cPlace  *obs.Counter
+	cComp   *obs.Counter
+}
+
+// emit writes one scheduling-decision trace event when a sink is attached.
+func (s *simulation) emit(kind string, nd *simNode, j *Job) {
+	if !s.rec.Tracing() {
+		return
+	}
+	ev := obs.Event{Time: s.now, Kind: kind, Policy: s.cfg.Policy.String(), Job: j.ID}
+	if nd != nil {
+		ev.Node = nd.id
+	}
+	s.rec.Emit(ev)
 }
 
 const step = trace.SampleInterval
@@ -222,11 +252,18 @@ func newSimulation(cfg Config, corpus []*trace.Trace) (*simulation, error) {
 	if predictor == nil {
 		predictor = predict.MedianLife{}
 	}
+	policy := cfg.Policy.String()
 	s := &simulation{
 		cfg:       cfg,
 		decider:   core.Decider{Cost: cfg.Migration},
 		predictor: predictor,
 		nodes:     make([]*simNode, cfg.Nodes),
+		rec:       cfg.Rec,
+		cMigr:     cfg.Rec.Counter(obs.Labeled(obs.ClusterMigrations, "policy", policy)),
+		cEvict:    cfg.Rec.Counter(obs.Labeled(obs.ClusterEvictions, "policy", policy)),
+		cLinger:   cfg.Rec.Counter(obs.Labeled(obs.ClusterLingers, "policy", policy)),
+		cPlace:    cfg.Rec.Counter(obs.Labeled(obs.ClusterPlacements, "policy", policy)),
+		cComp:     cfg.Rec.Counter(obs.Labeled(obs.ClusterCompletions, "policy", policy)),
 	}
 	for i := range s.nodes {
 		tr := corpus[rng.Intn(len(corpus))]
@@ -235,7 +272,7 @@ func newSimulation(cfg Config, corpus []*trace.Trace) (*simulation, error) {
 		s.nodes[i] = &simNode{
 			id:   i,
 			view: view,
-			fine: node.New(node.Config{ContextSwitch: cfg.ContextSwitch}, table, view, rng.Split()),
+			fine: node.New(node.Config{ContextSwitch: cfg.ContextSwitch, Rec: cfg.Rec}, table, view, rng.Split()),
 		}
 	}
 	s.rng = rng.Split()
@@ -346,6 +383,8 @@ func (s *simulation) startMigration(j *Job, dest *simNode) {
 	j.migrationEnd = s.now + s.cfg.Migration.Time(j.SizeMB)
 	s.migrating = append(s.migrating, j)
 	s.migrations++
+	s.cMigr.Inc()
+	s.emit("migrate", dest, j)
 }
 
 // requeue puts j back on the scheduler queue.
@@ -400,6 +439,8 @@ func (s *simulation) boundaryActions() {
 					s.startMigration(j, dest)
 				} else {
 					s.evictions++
+					s.cEvict.Inc()
+					s.emit("evict", nd, j)
 					s.requeue(j)
 				}
 			}
@@ -416,6 +457,8 @@ func (s *simulation) ownerReturned(j *Job, nd *simNode) {
 			s.startMigration(j, dest)
 		} else {
 			s.evictions++
+			s.cEvict.Inc()
+			s.emit("evict", nd, j)
 			s.requeue(j)
 		}
 	case core.PauseAndMigrate:
@@ -423,6 +466,8 @@ func (s *simulation) ownerReturned(j *Job, nd *simNode) {
 		j.pauseEnd = s.now + s.cfg.PauseTime
 	case core.LingerLonger, core.LingerForever:
 		j.setState(Lingering, s.now)
+		s.cLinger.Inc()
+		s.emit("linger", nd, j)
 		s.lingerDecision(j, nd)
 	}
 }
@@ -470,6 +515,8 @@ func (s *simulation) placeQueued() {
 	for _, j := range s.queue {
 		if dest := s.findDest(j, allowNonIdle, nil); dest != nil {
 			s.attach(j, dest, s.now)
+			s.cPlace.Inc()
+			s.emit("place", dest, j)
 		} else {
 			remaining = append(remaining, j)
 		}
@@ -521,6 +568,8 @@ func (s *simulation) serveJob(j *Job, windowEnd float64) {
 		j.setState(Done, done)
 		j.completedAt = done
 		s.completed++
+		s.cComp.Inc()
+		s.emit("complete", nd, j)
 		if s.replace {
 			nj := newJob(s.nextJobID, s.cfg.JobCPU, s.cfg.JobMB, done)
 			s.nextJobID++

@@ -5,6 +5,7 @@ import (
 
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
 )
@@ -59,6 +60,7 @@ func Run(cfg Config, corpus []*trace.Trace) (*Result, error) {
 	for !s.batchDone() && s.now < cfg.MaxTime {
 		s.stepOnce()
 	}
+	cfg.Rec.Histogram(obs.SimRunSeconds).Observe(s.now)
 
 	res := &Result{
 		LocalDelay: s.localDelay(),
@@ -128,6 +130,7 @@ func RunThroughput(cfg Config, corpus []*trace.Trace, dur float64) (*ThroughputR
 	for s.now < dur {
 		s.stepOnce()
 	}
+	cfg.Rec.Histogram(obs.SimRunSeconds).Observe(s.now)
 	return &ThroughputResult{
 		Throughput: s.foreignCPU / dur,
 		LocalDelay: s.localDelay(),

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/stats"
 )
 
@@ -127,6 +128,10 @@ type Runner struct {
 	// (runaway point — caught by the watchdog). The sweep argument is the
 	// full sweep ID.
 	FaultHook func(sweep string, index, attempt int) error
+	// Rec, when non-nil, receives the exp.points.* counters and the
+	// exp.point_seconds wall-clock histogram. Named derivatives share it.
+	// Metrics are outputs only — no execution decision reads them.
+	Rec *obs.Recorder
 
 	prefix string
 	state  *runnerState
@@ -210,6 +215,17 @@ func (r *Runner) store() Store {
 
 func (r *Runner) failSoft() bool { return r != nil && r.FailSoft }
 
+// Recorder returns the Runner's observability recorder, nil-safe. Figure
+// drivers that build simulator configs deep inside a sweep pull the
+// recorder from the runner they were handed, so one wiring point at the
+// command line reaches every layer.
+func (r *Runner) Recorder() *obs.Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.Rec
+}
+
 // Or returns r when non-nil, and otherwise a plain pool Runner of the
 // given size — the resolution rule for configs that carry an optional
 // Exec *Runner next to a legacy Workers int: the hardened runner, when
@@ -277,6 +293,20 @@ func runSweep[T any](r *Runner, sweep string, n int, task func(i int) (T, error)
 	results := make([]T, n)
 	perr := make([]*PointError, n)
 
+	// Observability handles, resolved once per sweep. Counters are
+	// atomic sums, so their final values are independent of worker count;
+	// the wall-clock histogram is a profiling side channel.
+	var (
+		cComputed, cRestored, cRetried *obs.Counter
+		hPoint                         *obs.Histogram
+	)
+	if r != nil && r.Rec != nil {
+		cComputed = r.Rec.Counter(obs.ExpPointsComputed)
+		cRestored = r.Rec.Counter(obs.ExpPointsRestored)
+		cRetried = r.Rec.Counter(obs.ExpPointsRetried)
+		hPoint = r.Rec.Histogram(obs.ExpPointSeconds)
+	}
+
 	var (
 		fatalMu  sync.Mutex
 		fatalErr error // storage/encoding failure: aborts even fail-soft runs
@@ -305,6 +335,7 @@ func runSweep[T any](r *Runner, sweep string, n int, task func(i int) (T, error)
 					if r.state != nil {
 						r.state.restored.Add(1)
 					}
+					cRestored.Inc()
 					return false
 				}
 				// Undecodable snapshot: recompute and overwrite below.
@@ -314,10 +345,17 @@ func runSweep[T any](r *Runner, sweep string, n int, task func(i int) (T, error)
 		attempts := r.attempts()
 		var lastErr error
 		for a := 1; a <= attempts; a++ {
+			var start time.Time
+			if hPoint != nil {
+				start = time.Now()
+			}
 			v, err := callPoint(r, id, i, a, task)
 			if err != nil {
 				lastErr = err
 				continue
+			}
+			if hPoint != nil {
+				hPoint.Observe(time.Since(start).Seconds())
 			}
 			results[i] = v
 			if r != nil && r.state != nil {
@@ -325,6 +363,10 @@ func runSweep[T any](r *Runner, sweep string, n int, task func(i int) (T, error)
 				if a > 1 {
 					r.state.retried.Add(1)
 				}
+			}
+			cComputed.Inc()
+			if a > 1 {
+				cRetried.Inc()
 			}
 			if store != nil {
 				data, err := encodeSnapshot(&v)

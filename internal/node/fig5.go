@@ -3,6 +3,7 @@ package node
 import (
 	"math"
 
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/workload"
 )
@@ -22,6 +23,9 @@ type Fig5Config struct {
 	Utilizations    []float64 // x-axis points
 	Duration        float64   // simulated seconds per point
 	Seed            int64
+	// Rec, when non-nil, counts node.preemptions across the sweep.
+	// Metrics are outputs only — no simulation decision reads them.
+	Rec *obs.Recorder
 }
 
 // DefaultFig5Config returns the paper's sweep: context-switch times of
@@ -49,7 +53,7 @@ func Fig5(table *workload.Table, cfg Fig5Config) []Fig5Point {
 	var out []Fig5Point
 	for _, cs := range cfg.ContextSwitches {
 		for _, u := range cfg.Utilizations {
-			n := New(Config{ContextSwitch: cs}, table, workload.ConstantUtilization(u), rng.Split())
+			n := New(Config{ContextSwitch: cs, Rec: cfg.Rec}, table, workload.ConstantUtilization(u), rng.Split())
 			n.ServeForeign(math.Inf(1), cfg.Duration)
 			out = append(out, Fig5Point{
 				Utilization:   u,

@@ -21,6 +21,7 @@ package node
 import (
 	"fmt"
 
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/workload"
 )
@@ -34,6 +35,11 @@ type Config struct {
 	// ContextSwitch is the effective context-switch time in seconds
 	// (register save plus cache-state reload).
 	ContextSwitch float64
+
+	// Rec, when non-nil, receives the node.preemptions counter. Metrics
+	// are a side channel (never read back), so attaching a recorder
+	// cannot change results.
+	Rec *obs.Recorder
 }
 
 // DefaultConfig returns the paper's nominal configuration.
@@ -58,6 +64,7 @@ type Node struct {
 	idleSeen    float64
 	foreignCPU  float64
 	preemptions int64
+	preemptC    *obs.Counter // pre-resolved handle; nil = observability off
 }
 
 // New returns a node whose local workload is generated from table at the
@@ -67,8 +74,9 @@ func New(cfg Config, table *workload.Table, src workload.UtilizationSource, rng 
 		panic(fmt.Sprintf("node: negative context-switch time %g", cfg.ContextSwitch))
 	}
 	return &Node{
-		cfg:    cfg,
-		stream: workload.NewWindowed(table, src, 0, rng),
+		cfg:      cfg,
+		stream:   workload.NewWindowed(table, src, 0, rng),
+		preemptC: cfg.Rec.Counter(obs.NodePreemptions),
 	}
 }
 
@@ -157,6 +165,7 @@ func (n *Node) ServeForeign(demand, until float64) float64 {
 				if n.foreignRanIdle {
 					n.localDelay += cs
 					n.preemptions++
+					n.preemptC.Inc()
 				}
 				n.foreignRanIdle = false
 			}

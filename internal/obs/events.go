@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured trace record. Time is simulated seconds for
+// simulator events and wall-clock seconds since process start for runtime
+// events (the Kind's prefix says which clock applies — see
+// OBSERVABILITY.md). Only the fields relevant to a given Kind are set;
+// the rest are omitted from the JSON line.
+type Event struct {
+	Time   float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Policy string  `json:"policy,omitempty"`
+	Node   int     `json:"node,omitempty"`
+	Job    int     `json:"job,omitempty"`
+	Agent  string  `json:"agent,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// EventSink writes events as JSON Lines (one object per line) to an
+// underlying writer. Safe for concurrent use; Emit on a nil sink is a
+// no-op. NOTE: under a parallel sweep, line ORDER follows goroutine
+// interleaving — the trace is a bag of records, not a total order. Sort
+// on (t, kind) when a stable view is needed; the metrics registry, not
+// the trace, is the deterministic artifact.
+type EventSink struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	emitted int64
+	err     error
+}
+
+// NewEventSink wraps w in a buffered JSONL encoder. Call Close to flush.
+func NewEventSink(w io.Writer) *EventSink {
+	bw := bufio.NewWriter(w)
+	return &EventSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event line. The first write error sticks and is
+// reported by Close; later Emits become no-ops.
+func (s *EventSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(e); err != nil {
+		s.err = err
+		return
+	}
+	s.emitted++
+}
+
+// Emitted returns how many events have been written.
+func (s *EventSink) Emitted() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emitted
+}
+
+// Close flushes the buffer and returns the first error seen (it does not
+// close the underlying writer — the CLI layer owns the file handle).
+func (s *EventSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEventSinkWritesJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	s.Emit(Event{Time: 1.5, Kind: "migrate", Policy: "LL", Node: 3, Job: 7})
+	s.Emit(Event{Time: 2, Kind: "agent-dead", Agent: "beta"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Emitted(); got != 2 {
+		t.Fatalf("Emitted = %d, want 2", got)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0].Kind != "migrate" || lines[0].Node != 3 || lines[0].Job != 7 {
+		t.Fatalf("first event round-tripped as %+v", lines[0])
+	}
+	if lines[1].Agent != "beta" {
+		t.Fatalf("second event round-tripped as %+v", lines[1])
+	}
+}
+
+func TestEventOmitsEmptyFields(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	s.Emit(Event{Time: 3, Kind: "complete"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	for _, field := range []string{"policy", "node", "job", "agent", "detail"} {
+		if strings.Contains(line, field) {
+			t.Errorf("zero-valued field %q serialized: %s", field, line)
+		}
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, errors.New("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestEventSinkStickyError(t *testing.T) {
+	s := NewEventSink(&failWriter{left: 10})
+	// The bufio layer absorbs writes until a flush; force small-buffer
+	// behavior by emitting until the error surfaces at Close.
+	for i := 0; i < 10000; i++ {
+		s.Emit(Event{Time: float64(i), Kind: "evict"})
+	}
+	if err := s.Close(); err == nil {
+		t.Fatalf("Close returned nil after underlying write failure")
+	}
+	if got := s.Emitted(); got >= 10000 {
+		t.Fatalf("all %d emits reported success despite the failure", got)
+	}
+}
+
+func TestNilSink(t *testing.T) {
+	var s *EventSink
+	s.Emit(Event{Kind: "x"})
+	if s.Emitted() != 0 {
+		t.Fatal("nil sink emitted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil sink Close: %v", err)
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	if New(nil, nil) != nil {
+		t.Fatalf("New(nil, nil) should be the nil (off) recorder")
+	}
+	var r *Recorder
+	if r.Counter(SimEventsFired) != nil || r.Gauge(RunWallSeconds) != nil || r.Histogram(SimRunSeconds) != nil {
+		t.Fatalf("nil recorder handed out non-nil handles")
+	}
+	if r.Tracing() {
+		t.Fatalf("nil recorder claims to trace")
+	}
+	r.Emit(Event{Kind: "x"}) // must not panic
+	if r.Registry() != nil {
+		t.Fatalf("nil recorder has a registry")
+	}
+}
+
+func TestRecorderHalves(t *testing.T) {
+	// Metrics without tracing: handles resolve, Tracing is false.
+	reg := NewRegistry()
+	r := New(reg, nil)
+	if r.Tracing() {
+		t.Fatalf("recorder without a sink claims to trace")
+	}
+	r.Counter(SimEventsFired).Inc()
+	r.Emit(Event{Kind: "x"}) // no sink: must be a silent no-op
+	if got := reg.Counter(SimEventsFired).Value(); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+
+	// Tracing without metrics: events flow, handles are nil no-ops.
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	r2 := New(nil, sink)
+	if !r2.Tracing() {
+		t.Fatalf("recorder with a sink does not trace")
+	}
+	r2.Counter(SimEventsFired).Inc() // nil registry: nil handle, no panic
+	r2.Emit(Event{Time: 1, Kind: "linger"})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "linger") {
+		t.Fatalf("event did not reach the sink: %q", buf.String())
+	}
+}

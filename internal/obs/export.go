@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion identifies the metrics-file layout; bump on any breaking
+// change so downstream parsers can refuse what they don't understand.
+const SchemaVersion = 1
+
+// metricsFile is the on-disk layout of a -metrics dump. Maps marshal with
+// sorted keys, so for a deterministic run the file is byte-stable across
+// worker counts (gauges excepted — they are documented as last-write-wins
+// and restricted to single-threaded call sites).
+type metricsFile struct {
+	SchemaVersion int                     `json:"schema_version"`
+	Counters      map[string]int64        `json:"counters"`
+	Gauges        map[string]float64      `json:"gauges"`
+	Histograms    map[string]histSnapshot `json:"histograms"`
+}
+
+// WriteJSON dumps the registry as indented JSON. Safe to call on a nil
+// registry (writes an empty, schema-valid document).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	f := metricsFile{
+		SchemaVersion: SchemaVersion,
+		Counters:      map[string]int64{},
+		Gauges:        map[string]float64{},
+		Histograms:    map[string]histSnapshot{},
+	}
+	if r != nil {
+		r.mu.Lock()
+		for name, c := range r.counters {
+			f.Counters[name] = c.Value()
+		}
+		for name, g := range r.gauges {
+			if v, ok := g.Value(); ok {
+				f.Gauges[name] = v
+			}
+		}
+		for name, h := range r.hists {
+			f.Histograms[name] = h.snapshot()
+		}
+		r.mu.Unlock()
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal metrics: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: write metrics: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// populate fills a registry with a representative mix of metrics, adding
+// them in the order given by perm — exports must not care.
+func populate(r *Registry, perm []int) {
+	ops := []func(){
+		func() { r.Counter(SimEventsFired).Add(123) },
+		func() { r.Counter(Labeled(ClusterMigrations, "policy", "LL")).Add(7) },
+		func() { r.Counter(Labeled(ClusterMigrations, "policy", "IE")).Add(3) },
+		func() {
+			h := r.Histogram(SimRunSeconds)
+			for _, v := range []float64{0.5, 1.5, 1.5, 1800, 0} {
+				h.Observe(v)
+			}
+		},
+		func() { r.Gauge(RunWallSeconds).Set(12.25) },
+	}
+	for _, i := range perm {
+		ops[i]()
+	}
+}
+
+func TestWriteJSONValidatesAndIsOrderIndependent(t *testing.T) {
+	var a, b bytes.Buffer
+	ra, rb := NewRegistry(), NewRegistry()
+	populate(ra, []int{0, 1, 2, 3, 4})
+	populate(rb, []int{4, 3, 2, 1, 0}) // reverse creation order
+	if err := ra.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("export depends on metric creation order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if err := ValidateMetricsJSON(a.Bytes()); err != nil {
+		t.Fatalf("self-produced dump fails validation: %v", err)
+	}
+}
+
+func TestWriteJSONEmptyAndNil(t *testing.T) {
+	for _, r := range []*Registry{nil, NewRegistry()} {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateMetricsJSON(buf.Bytes()); err != nil {
+			t.Fatalf("empty dump fails validation: %v", err)
+		}
+		if strings.Contains(buf.String(), "null") {
+			t.Fatalf("empty dump contains null sections:\n%s", buf.String())
+		}
+	}
+}
+
+func TestUnsetGaugeIsNotExported(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge(RunWallSeconds) // created but never Set
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), RunWallSeconds) {
+		t.Fatalf("unset gauge leaked into the export:\n%s", buf.String())
+	}
+}
+
+func TestValidateMetricsJSONRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string // substring of the expected error
+	}{
+		{"not json", `{`, "metrics schema"},
+		{"unknown field", `{"schema_version":1,"counters":{},"gauges":{},"histograms":{},"extra":1}`, "unknown field"},
+		{"trailing data", `{"schema_version":1,"counters":{},"gauges":{},"histograms":{}} {}`, "trailing data"},
+		{"missing version", `{"counters":{},"gauges":{},"histograms":{}}`, "missing schema_version"},
+		{"wrong version", `{"schema_version":99,"counters":{},"gauges":{},"histograms":{}}`, "schema_version 99"},
+		{"missing section", `{"schema_version":1,"counters":{},"gauges":{}}`, "all required"},
+		{"uncatalogued counter", `{"schema_version":1,"counters":{"no.such":1},"gauges":{},"histograms":{}}`, "not a catalogued metric"},
+		{"wrong section", `{"schema_version":1,"counters":{"run.wall_seconds":1},"gauges":{},"histograms":{}}`, "is a gauge"},
+		{"negative counter", `{"schema_version":1,"counters":{"sim.events.fired":-1},"gauges":{},"histograms":{}}`, "non-negative"},
+		{"NaN-ish gauge", `{"schema_version":1,"counters":{},"gauges":{"run.wall_seconds":"x"},"histograms":{}}`, "metrics schema"},
+		{"histogram bad sum", `{"schema_version":1,"counters":{},"gauges":{},"histograms":{"sim.run_seconds":{"count":5,"zeros":0,"rejected":0,"min":1,"max":2,"overflow":0,"buckets":[{"pow2":1,"count":3}]}}}`, "don't sum"},
+		{"histogram empty bucket", `{"schema_version":1,"counters":{},"gauges":{},"histograms":{"sim.run_seconds":{"count":0,"zeros":0,"rejected":0,"min":0,"max":0,"overflow":0,"buckets":[{"pow2":1,"count":0}]}}}`, "empty bucket"},
+		{"histogram edge range", `{"schema_version":1,"counters":{},"gauges":{},"histograms":{"sim.run_seconds":{"count":1,"zeros":0,"rejected":0,"min":1,"max":1,"overflow":0,"buckets":[{"pow2":99,"count":1}]}}}`, "outside the fixed edges"},
+		{"histogram bad bounds", `{"schema_version":1,"counters":{},"gauges":{},"histograms":{"sim.run_seconds":{"count":2,"zeros":0,"rejected":0,"min":5,"max":1,"overflow":0,"buckets":[{"pow2":1,"count":2}]}}}`, "invalid bounds"},
+	}
+	for _, c := range cases {
+		err := ValidateMetricsJSON([]byte(c.data))
+		if err == nil {
+			t.Errorf("%s: validation passed, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}

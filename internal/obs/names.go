@@ -1,0 +1,114 @@
+package obs
+
+// MetricKind distinguishes the three metric types in the catalog.
+type MetricKind string
+
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+)
+
+// Def describes one catalogued metric. Help is the one-line meaning that
+// OBSERVABILITY.md must reproduce (names_test.go cross-references the two).
+type Def struct {
+	Name string
+	Kind MetricKind
+	Help string
+}
+
+// Metric base names. Labeled variants (e.g. "cluster.migrations{policy=LL}")
+// share the base name's catalog entry.
+const (
+	// Discrete-event engine (internal/sim).
+	SimEventsFired = "sim.events.fired" // counter
+	SimRunSeconds  = "sim.run_seconds"  // histogram
+
+	// Node scheduler (internal/node).
+	NodePreemptions = "node.preemptions" // counter
+
+	// Cluster policies (internal/cluster); labeled {policy=LL|LF|IE|PM}.
+	ClusterCompletions = "cluster.completions" // counter
+	ClusterMigrations  = "cluster.migrations"  // counter
+	ClusterEvictions   = "cluster.evictions"   // counter
+	ClusterLingers     = "cluster.lingers"     // counter
+	ClusterPlacements  = "cluster.placements"  // counter
+
+	// BSP parallel-job simulator (internal/parallel).
+	BSPPhases = "bsp.phases" // counter
+
+	// §7 coordinator/agent runtime (internal/runtime).
+	RPCAttempts      = "runtime.rpc.attempts"       // counter
+	RPCRetries       = "runtime.rpc.retries"        // counter
+	RPCTimeouts      = "runtime.rpc.timeouts"       // counter
+	RPCCorruptFrames = "runtime.rpc.corrupt_frames" // counter
+	RPCDedupHits     = "runtime.rpc.dedup_hits"     // counter
+	AgentsSuspected  = "runtime.agents.suspected"   // counter
+	AgentsDead       = "runtime.agents.dead"        // counter
+	JobsRecovered    = "runtime.jobs.recovered"     // counter
+	DuplicatesReaped = "runtime.duplicates.reaped"  // counter
+
+	// Checkpoint store (internal/checkpoint).
+	CheckpointSaves          = "checkpoint.saves"           // counter
+	CheckpointRestores       = "checkpoint.restores"        // counter
+	CheckpointSaveSeconds    = "checkpoint.save_seconds"    // histogram
+	CheckpointRestoreSeconds = "checkpoint.restore_seconds" // histogram
+
+	// Experiment runner (internal/exp); figure gauges labeled {figure=...}.
+	ExpPointsComputed = "exp.points.computed" // counter
+	ExpPointsRestored = "exp.points.restored" // counter
+	ExpPointsRetried  = "exp.points.retried"  // counter
+	ExpPointSeconds   = "exp.point_seconds"   // histogram
+	ExpFigureSeconds  = "exp.figure_seconds"  // gauge
+
+	// Whole-process (set once by the CLI layer at exit).
+	RunWallSeconds = "run.wall_seconds" // gauge
+)
+
+// Catalog is the complete list of metrics this repository can emit.
+// Registry methods panic on any base name not listed here, and
+// names_test.go asserts every entry appears in OBSERVABILITY.md — together
+// those two checks make "every metric emitted by the code is documented"
+// a build-time property rather than a review convention.
+var Catalog = []Def{
+	{SimEventsFired, KindCounter, "events dispatched by the discrete-event engine (Engine.Step firings)"},
+	{SimRunSeconds, KindHistogram, "final simulated time of each simulation run, seconds of sim time"},
+	{NodePreemptions, KindCounter, "foreign-job preemptions by a returning local burst (context-switch charges, §3)"},
+	{ClusterCompletions, KindCounter, "foreign jobs completed, per policy"},
+	{ClusterMigrations, KindCounter, "job migrations started, per policy (Tmigr charges, §2)"},
+	{ClusterEvictions, KindCounter, "jobs evicted back to the queue by an owner's return, per policy"},
+	{ClusterLingers, KindCounter, "linger decisions (job stays through an owner burst), per policy"},
+	{ClusterPlacements, KindCounter, "queued jobs placed onto a node, per policy"},
+	{BSPPhases, KindCounter, "BSP compute/communicate phases completed across all parallel jobs"},
+	{RPCAttempts, KindCounter, "RPC attempts issued by the coordinator (first tries and retries)"},
+	{RPCRetries, KindCounter, "RPC retries after a transport error"},
+	{RPCTimeouts, KindCounter, "RPC attempts that timed out"},
+	{RPCCorruptFrames, KindCounter, "RPC replies rejected as corrupt frames"},
+	{RPCDedupHits, KindCounter, "duplicate RPCs suppressed by agent sequence-number dedup (at-most-once)"},
+	{AgentsSuspected, KindCounter, "agent health transitions into the suspect state"},
+	{AgentsDead, KindCounter, "agent health transitions into the dead state"},
+	{JobsRecovered, KindCounter, "jobs recovered from dead agents and requeued"},
+	{DuplicatesReaped, KindCounter, "stale duplicate jobs reaped when an agent resurrected"},
+	{CheckpointSaves, KindCounter, "checkpoint snapshots written"},
+	{CheckpointRestores, KindCounter, "checkpoint snapshots read back"},
+	{CheckpointSaveSeconds, KindHistogram, "wall-clock latency of each checkpoint write, seconds"},
+	{CheckpointRestoreSeconds, KindHistogram, "wall-clock latency of each checkpoint read, seconds"},
+	{ExpPointsComputed, KindCounter, "sweep points computed fresh by the experiment runner"},
+	{ExpPointsRestored, KindCounter, "sweep points restored from a checkpoint instead of recomputed"},
+	{ExpPointsRetried, KindCounter, "sweep point attempts retried after a transient failure"},
+	{ExpPointSeconds, KindHistogram, "wall-clock per sweep point, seconds"},
+	{ExpFigureSeconds, KindGauge, "wall-clock of one figure/table step, seconds, labeled {figure=...}; -timing reads these back"},
+	{RunWallSeconds, KindGauge, "total wall-clock of the whole command run, seconds"},
+}
+
+// catalogByName indexes Catalog for the Registry's name check.
+var catalogByName = func() map[string]Def {
+	m := make(map[string]Def, len(Catalog))
+	for _, d := range Catalog {
+		if _, dup := m[d.Name]; dup {
+			panic("obs: duplicate catalog entry " + d.Name)
+		}
+		m[d.Name] = d
+	}
+	return m
+}()

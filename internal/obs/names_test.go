@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCatalogDocumented enforces the documentation contract: every metric
+// in the Catalog must appear in OBSERVABILITY.md — by exact name AND with
+// its help text reproduced verbatim — so the doc can never silently drift
+// from the code. Adding a metric without documenting it fails this test.
+func TestCatalogDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("OBSERVABILITY.md must exist at the repo root: %v", err)
+	}
+	text := string(doc)
+	for _, d := range Catalog {
+		if !strings.Contains(text, "`"+d.Name+"`") {
+			t.Errorf("metric %q is not documented in OBSERVABILITY.md", d.Name)
+		}
+		if !strings.Contains(text, d.Help) {
+			t.Errorf("metric %q: help text not reproduced verbatim in OBSERVABILITY.md:\n  %q",
+				d.Name, d.Help)
+		}
+	}
+}
+
+// TestCatalogHygiene pins basic invariants of the catalog itself.
+func TestCatalogHygiene(t *testing.T) {
+	for _, d := range Catalog {
+		if d.Name == "" || d.Help == "" {
+			t.Errorf("catalog entry %+v has an empty name or help", d)
+		}
+		if strings.ContainsAny(d.Name, "{} \t\n") {
+			t.Errorf("base name %q contains label syntax or whitespace", d.Name)
+		}
+		switch d.Kind {
+		case KindCounter, KindGauge, KindHistogram:
+		default:
+			t.Errorf("metric %q has unknown kind %q", d.Name, d.Kind)
+		}
+	}
+	if len(catalogByName) != len(Catalog) {
+		t.Errorf("catalog index has %d entries for %d defs (duplicate names?)",
+			len(catalogByName), len(Catalog))
+	}
+}

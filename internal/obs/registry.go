@@ -1,0 +1,397 @@
+// Package obs is the repository's zero-dependency observability layer:
+// typed counters, gauges and log-2 histograms in a Registry, a structured
+// JSONL event sink, and the nil-safe Recorder the simulators and the
+// runtime emit into.
+//
+// Two rules keep the layer compatible with the repository's determinism
+// contract (DESIGN.md §8, §11):
+//
+//  1. Side channel only. Metrics and events are outputs, never inputs: no
+//     simulator or scheduler reads a metric to make a decision, so enabling
+//     observability can never change a result. The one sanctioned reader is
+//     the -timing view, which is explicitly machine-dependent.
+//  2. Order independence. Counters are sums and histogram buckets are
+//     integer tallies, so the exported values are identical for every
+//     worker count; histogram bucket EDGES are fixed powers of two rather
+//     than data-derived quantiles, so the bucket layout is byte-stable too.
+//     (A floating-point running sum would depend on accumulation order
+//     under a parallel sweep, which is why histograms export count/min/max
+//     and buckets but no sum.)
+//
+// Every handle type is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, *Recorder or *EventSink are no-ops, so an uninstrumented run
+// pays exactly one nil-check branch per site. Metric names must come from
+// the catalog in names.go — Registry panics on an unknown base name, which
+// is what keeps OBSERVABILITY.md complete (see names_test.go).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically-increasing integer metric. Safe for
+// concurrent use; all methods are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are ignored: counters
+// only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float metric. NaN inputs are rejected (the
+// gauge keeps its previous value): a NaN gauge would poison the JSON
+// export, and every NaN in this codebase is a bug upstream, not a value.
+// Safe for concurrent use; no-op on a nil receiver.
+type Gauge struct {
+	set  atomic.Bool
+	bits atomic.Uint64
+}
+
+// Set stores v. NaN is rejected.
+func (g *Gauge) Set(v float64) {
+	if g == nil || math.IsNaN(v) {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Value returns the gauge value and whether it has ever been set.
+func (g *Gauge) Value() (float64, bool) {
+	if g == nil || !g.set.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(g.bits.Load()), true
+}
+
+// Histogram bucket layout: log-2 buckets with fixed edges. Bucket i covers
+// values in [2^(histMinExp+i-1), 2^(histMinExp+i)); values below the first
+// edge clamp into bucket 0, values at or above 2^histMaxExp land in the
+// overflow bucket. With values in seconds the range spans ~1 ns to ~500
+// years, so no simulated or wall-clock quantity in this repository can
+// fall outside it in normal operation.
+const (
+	histMinExp = -30 // first bucket upper edge: 2^-30 s ≈ 0.93 ns
+	histMaxExp = 34  // last regular upper edge: 2^34 s ≈ 544 years
+	numBuckets = histMaxExp - histMinExp + 1
+)
+
+// Histogram is a fixed-edge log-2 histogram of non-negative float64
+// observations. Zero observations are tallied separately (zero has no
+// logarithm); negative, NaN and ±Inf observations are rejected and
+// counted. Safe for concurrent use; no-op on a nil receiver.
+//
+// The exported form carries count, zeros, rejected, min, max and the
+// non-empty buckets — deliberately no sum, because a float sum accumulated
+// by parallel workers is not byte-stable across worker counts.
+type Histogram struct {
+	buckets  [numBuckets]atomic.Int64
+	overflow atomic.Int64
+	zeros    atomic.Int64
+	rejected atomic.Int64
+	count    atomic.Int64 // finite, non-negative observations (incl. zeros)
+
+	minBits atomic.Uint64 // float64 bits; valid once count > 0
+	maxBits atomic.Uint64
+	initMu  sync.Mutex // serializes first-observation min/max init
+	init    atomic.Bool
+}
+
+// bucketIndex returns the regular-bucket index for v > 0, or numBuckets
+// for the overflow bucket. The upper edge of bucket i is 2^(histMinExp+i).
+func bucketIndex(v float64) int {
+	_, exp := math.Frexp(v) // v = f * 2^exp, f in [0.5, 1): v in [2^(exp-1), 2^exp)
+	switch {
+	case exp <= histMinExp:
+		return 0
+	case exp > histMaxExp:
+		return numBuckets
+	default:
+		return exp - histMinExp
+	}
+}
+
+// BucketUpperEdge returns the fixed upper edge of regular bucket i.
+func BucketUpperEdge(i int) float64 {
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// Observe records one value. Zero goes to the zero tally; negative, NaN
+// and ±Inf values are rejected.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		h.rejected.Add(1)
+		return
+	}
+	h.count.Add(1)
+	h.updateBounds(v)
+	if v == 0 {
+		h.zeros.Add(1)
+		return
+	}
+	if i := bucketIndex(v); i == numBuckets {
+		h.overflow.Add(1)
+	} else {
+		h.buckets[i].Add(1)
+	}
+}
+
+// updateBounds folds v into the min/max with CAS loops.
+func (h *Histogram) updateBounds(v float64) {
+	if !h.init.Load() {
+		h.initMu.Lock()
+		if !h.init.Load() {
+			h.minBits.Store(math.Float64bits(v))
+			h.maxBits.Store(math.Float64bits(v))
+			h.init.Store(true)
+			h.initMu.Unlock()
+			return
+		}
+		h.initMu.Unlock()
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of accepted observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Rejected returns the number of rejected (negative/NaN/Inf) observations.
+func (h *Histogram) Rejected() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.rejected.Load()
+}
+
+// snapshotBucket is one non-empty bucket of an exported histogram. Pow2
+// identifies the bucket by its upper edge: the bucket covers
+// [2^(Pow2-1), 2^Pow2). Exporting the exponent rather than the edge keeps
+// the JSON free of awkward floats (2^-30 and +Inf).
+type snapshotBucket struct {
+	Pow2  int   `json:"pow2"`
+	Count int64 `json:"count"`
+}
+
+// histSnapshot is the exported form of one histogram.
+type histSnapshot struct {
+	Count    int64            `json:"count"`
+	Zeros    int64            `json:"zeros"`
+	Rejected int64            `json:"rejected"`
+	Min      float64          `json:"min"`
+	Max      float64          `json:"max"`
+	Overflow int64            `json:"overflow"`
+	Buckets  []snapshotBucket `json:"buckets"`
+}
+
+// snapshot captures the histogram for export.
+func (h *Histogram) snapshot() histSnapshot {
+	s := histSnapshot{
+		Count:    h.count.Load(),
+		Zeros:    h.zeros.Load(),
+		Rejected: h.rejected.Load(),
+		Overflow: h.overflow.Load(),
+		Buckets:  []snapshotBucket{},
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i := 0; i < numBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, snapshotBucket{Pow2: histMinExp + i, Count: n})
+		}
+	}
+	return s
+}
+
+// Registry holds the metrics of one run, keyed by full (possibly labeled)
+// name. Get-or-create methods are safe for concurrent use and panic on a
+// base name missing from the catalog (names.go): an undocumented metric is
+// a build bug, caught by the first test that touches the code path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// checkName panics unless name's base (labels stripped) is a catalogued
+// metric of the given kind.
+func checkName(name string, kind MetricKind) {
+	base := BaseName(name)
+	def, ok := catalogByName[base]
+	if !ok {
+		panic(fmt.Sprintf("obs: unknown metric %q — add it to names.go and OBSERVABILITY.md", base))
+	}
+	if def.Kind != kind {
+		panic(fmt.Sprintf("obs: metric %q is a %s, not a %s", base, def.Kind, kind))
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns a nil handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	checkName(name, KindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	checkName(name, KindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	checkName(name, KindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValues returns every counter as a name→value map (a stable-order
+// export is WriteJSON; this accessor serves report generators and tests).
+func (r *Registry) CounterValues() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Labeled builds a labeled metric name: Labeled("cluster.migrations",
+// "policy", "LL") == "cluster.migrations{policy=LL}". Label pairs are
+// rendered in the order given; callers use a fixed order so names are
+// stable. Panics on an odd number of label arguments (a build bug).
+func Labeled(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: Labeled(%q) with odd label list %q", base, kv))
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// BaseName strips the {label=value,...} suffix from a metric name.
+func BaseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(SimEventsFired)
+	c.Inc()
+	c.Add(4)
+	c.Add(0)  // ignored: counters only go up
+	c.Add(-7) // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	if again := r.Counter(SimEventsFired); again != c {
+		t.Fatalf("get-or-create returned a different handle")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	// Every method on every nil handle must be callable: this is the
+	// disabled fast path the instrumented packages rely on.
+	var reg *Registry
+	c := reg.Counter(SimEventsFired)
+	g := reg.Gauge(RunWallSeconds)
+	h := reg.Histogram(SimRunSeconds)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value != 0")
+	}
+	g.Set(1.5)
+	if _, ok := g.Value(); ok {
+		t.Fatalf("nil gauge reports a value")
+	}
+	h.Observe(1)
+	if h.Count() != 0 || h.Rejected() != 0 {
+		t.Fatalf("nil histogram recorded something")
+	}
+	if reg.CounterValues() != nil || reg.CounterNames() != nil {
+		t.Fatalf("nil registry exports non-nil maps")
+	}
+	if err := reg.WriteJSON(io.Discard); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+}
+
+func TestGaugeRejectsNaN(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge(RunWallSeconds)
+	if _, ok := g.Value(); ok {
+		t.Fatalf("unset gauge reports a value")
+	}
+	g.Set(math.NaN())
+	if _, ok := g.Value(); ok {
+		t.Fatalf("NaN set the gauge")
+	}
+	g.Set(2.5)
+	g.Set(math.NaN()) // rejected: keeps the previous value
+	if v, ok := g.Value(); !ok || v != 2.5 {
+		t.Fatalf("gauge = (%v, %v), want (2.5, true)", v, ok)
+	}
+	g.Set(math.Inf(1)) // Inf is a legal (if suspicious) gauge value
+	if v, ok := g.Value(); !ok || !math.IsInf(v, 1) {
+		t.Fatalf("gauge = (%v, %v), want (+Inf, true)", v, ok)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(SimRunSeconds)
+
+	h.Observe(0) // zero has no logarithm; tallied separately
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(-1e-9)
+	h.Observe(float64(math.MaxUint64)) // ~1.8e19 s: beyond 2^34, overflow
+	h.Observe(1e-12)                   // below 2^-30: clamps into bucket 0
+	h.Observe(1.5)
+
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4 (zero, max-uint64, tiny, 1.5)", got)
+	}
+	if got := h.Rejected(); got != 4 {
+		t.Fatalf("rejected = %d, want 4 (NaN, +Inf, -Inf, negative)", got)
+	}
+	s := h.snapshot()
+	if s.Zeros != 1 {
+		t.Fatalf("zeros = %d, want 1", s.Zeros)
+	}
+	if s.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1", s.Overflow)
+	}
+	if s.Min != 0 || s.Max != float64(math.MaxUint64) {
+		t.Fatalf("min/max = %g/%g, want 0/%g", s.Min, s.Max, float64(math.MaxUint64))
+	}
+	var inBuckets int64
+	for _, b := range s.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets+s.Zeros+s.Overflow != s.Count {
+		t.Fatalf("bucket sum %d + zeros %d + overflow %d != count %d",
+			inBuckets, s.Zeros, s.Overflow, s.Count)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	// Bucket i covers [2^(histMinExp+i-1), 2^(histMinExp+i)): an exact
+	// power of two is the INCLUSIVE lower edge of its bucket.
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{1.0, 1 - histMinExp},   // [1, 2)
+		{1.999, 1 - histMinExp}, // still [1, 2)
+		{2.0, 2 - histMinExp},   // [2, 4)
+		{0.5, -histMinExp},      // [0.5, 1)
+		{math.Ldexp(1, -30), 1}, // exactly the first regular edge
+		{math.Ldexp(1, -31), 0}, // below it: clamps to bucket 0
+		{math.Ldexp(1, 33), 64}, // [2^33, 2^34): last regular bucket
+		{math.Ldexp(1, 34), 65}, // = 2^34: overflow (numBuckets = 65)
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if e := BucketUpperEdge(1 - histMinExp); e != 2 {
+		t.Errorf("BucketUpperEdge(bucket of 1.0) = %g, want 2", e)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// Integer tallies make the export exact regardless of interleaving:
+	// G goroutines each observing the same N values must produce G*N
+	// observations with stable min/max.
+	r := NewRegistry()
+	h := r.Histogram(SimRunSeconds)
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%97) / 7)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	s := h.snapshot()
+	if s.Min != 0 || s.Max != 96.0/7 {
+		t.Fatalf("min/max = %g/%g, want 0/%g", s.Min, s.Max, 96.0/7)
+	}
+}
+
+func TestCounterConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(SimEventsFired)
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestRegistryPanicsOnUnknownName(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "unknown metric", func() { r.Counter("no.such.metric") })
+	// Kind mismatch is a build bug too.
+	mustPanic(t, "kind mismatch", func() { r.Gauge(SimEventsFired) })
+	mustPanic(t, "kind mismatch hist", func() { r.Histogram(NodePreemptions) })
+	// Labels don't evade the catalog: the BASE name is checked.
+	mustPanic(t, "labeled unknown", func() { r.Counter(Labeled("bogus.name", "k", "v")) })
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled(ClusterMigrations, "policy", "LL"); got != "cluster.migrations{policy=LL}" {
+		t.Fatalf("Labeled = %q", got)
+	}
+	if got := Labeled(ClusterMigrations); got != ClusterMigrations {
+		t.Fatalf("Labeled with no pairs = %q", got)
+	}
+	if got := BaseName("cluster.migrations{policy=LL}"); got != ClusterMigrations {
+		t.Fatalf("BaseName = %q", got)
+	}
+	if got := BaseName(ClusterMigrations); got != ClusterMigrations {
+		t.Fatalf("BaseName of unlabeled = %q", got)
+	}
+	mustPanic(t, "odd labels", func() { Labeled(ClusterMigrations, "policy") })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected a panic", name)
+		}
+	}()
+	f()
+}

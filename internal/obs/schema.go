@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// ValidateMetricsJSON checks that data is a well-formed metrics dump:
+// the right schema version, the three sections with the right value
+// shapes, every metric name's base in the catalog and of the right kind,
+// and internally consistent histograms (bucket tallies + zeros + overflow
+// sum to count, exponents within the fixed edge range, no NaN bounds).
+// It is the pure-stdlib schema checker CI runs over a -quick -metrics
+// dump (cmd/obscheck); it returns the first violation found.
+func ValidateMetricsJSON(data []byte) error {
+	var f struct {
+		SchemaVersion *int                     `json:"schema_version"`
+		Counters      map[string]*int64        `json:"counters"`
+		Gauges        map[string]*float64      `json:"gauges"`
+		Histograms    map[string]*histSnapshot `json:"histograms"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("metrics schema: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("metrics schema: trailing data after metrics object")
+	}
+	if f.SchemaVersion == nil {
+		return fmt.Errorf("metrics schema: missing schema_version")
+	}
+	if *f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("metrics schema: schema_version %d, want %d", *f.SchemaVersion, SchemaVersion)
+	}
+	if f.Counters == nil || f.Gauges == nil || f.Histograms == nil {
+		return fmt.Errorf("metrics schema: counters, gauges and histograms sections are all required")
+	}
+	for name, v := range f.Counters {
+		if err := checkCatalogued(name, KindCounter); err != nil {
+			return err
+		}
+		if v == nil || *v < 0 {
+			return fmt.Errorf("metrics schema: counter %q must be a non-negative integer", name)
+		}
+	}
+	for name, v := range f.Gauges {
+		if err := checkCatalogued(name, KindGauge); err != nil {
+			return err
+		}
+		if v == nil || math.IsNaN(*v) || math.IsInf(*v, 0) {
+			return fmt.Errorf("metrics schema: gauge %q must be a finite number", name)
+		}
+	}
+	for name, h := range f.Histograms {
+		if err := checkCatalogued(name, KindHistogram); err != nil {
+			return err
+		}
+		if h == nil {
+			return fmt.Errorf("metrics schema: histogram %q must be an object", name)
+		}
+		if err := checkHistogram(name, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkCatalogued verifies the metric's base name is a catalogued metric
+// of the expected kind.
+func checkCatalogued(name string, kind MetricKind) error {
+	base := BaseName(name)
+	def, ok := catalogByName[base]
+	if !ok {
+		return fmt.Errorf("metrics schema: %q is not a catalogued metric", base)
+	}
+	if def.Kind != kind {
+		return fmt.Errorf("metrics schema: %q is a %s, found in the %s section", base, def.Kind, kind)
+	}
+	return nil
+}
+
+// checkHistogram verifies one histogram snapshot's internal consistency.
+func checkHistogram(name string, h *histSnapshot) error {
+	if h.Count < 0 || h.Zeros < 0 || h.Rejected < 0 || h.Overflow < 0 {
+		return fmt.Errorf("metrics schema: histogram %q has a negative tally", name)
+	}
+	if math.IsNaN(h.Min) || math.IsNaN(h.Max) || h.Min > h.Max {
+		return fmt.Errorf("metrics schema: histogram %q has invalid bounds min=%v max=%v", name, h.Min, h.Max)
+	}
+	var inBuckets int64
+	for _, b := range h.Buckets {
+		if b.Count <= 0 {
+			return fmt.Errorf("metrics schema: histogram %q exports empty bucket pow2=%d", name, b.Pow2)
+		}
+		if b.Pow2 < histMinExp || b.Pow2 > histMaxExp {
+			return fmt.Errorf("metrics schema: histogram %q bucket pow2=%d outside the fixed edges [%d,%d]",
+				name, b.Pow2, histMinExp, histMaxExp)
+		}
+		inBuckets += b.Count
+	}
+	if inBuckets+h.Zeros+h.Overflow != h.Count {
+		return fmt.Errorf("metrics schema: histogram %q tallies don't sum: buckets %d + zeros %d + overflow %d != count %d",
+			name, inBuckets, h.Zeros, h.Overflow, h.Count)
+	}
+	return nil
+}

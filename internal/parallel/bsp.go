@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"lingerlonger/internal/node"
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/workload"
 )
@@ -46,6 +47,11 @@ type BSPConfig struct {
 	// Table overrides the fine-grain workload calibration; nil selects
 	// workload.DefaultTable(). Used by the burst-distribution ablations.
 	Table *workload.Table
+
+	// Rec, when non-nil, receives the bsp.phases counter and the
+	// per-node preemption counter. Metrics are outputs only, never read
+	// back, so a recorder cannot change results.
+	Rec *obs.Recorder
 }
 
 // DefaultBSPConfig returns the paper's synthetic job: eight processes with
@@ -114,10 +120,11 @@ func RunBSP(cfg BSPConfig, utils []float64, rng *stats.RNG) (float64, error) {
 		if u < 0 || u > 1 {
 			return 0, fmt.Errorf("parallel: utilization %g out of [0,1]", u)
 		}
-		nodes[i] = node.New(node.Config{ContextSwitch: cfg.ContextSwitch}, table,
+		nodes[i] = node.New(node.Config{ContextSwitch: cfg.ContextSwitch, Rec: cfg.Rec}, table,
 			workload.ConstantUtilization(u), rng.Split())
 	}
 
+	phaseC := cfg.Rec.Counter(obs.BSPPhases)
 	now := 0.0
 	comm := cfg.commTime()
 	for p := 0; p < cfg.Phases; p++ {
@@ -160,6 +167,7 @@ func RunBSP(cfg BSPConfig, utils []float64, rng *stats.RNG) (float64, error) {
 		// serialize per process; local CPU activity does not slow the
 		// network transfers.
 		now = chain + comm
+		phaseC.Inc()
 	}
 	return now, nil
 }

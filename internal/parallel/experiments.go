@@ -26,6 +26,7 @@ type Fig9Point struct {
 // execution policy (nil selects a plain GOMAXPROCS pool) as sweep "fig9".
 func Fig9(r *exp.Runner, seed int64) ([]Fig9Point, error) {
 	cfg := DefaultBSPConfig()
+	cfg.Rec = r.Recorder()
 	return exp.RunSeeded(r, "fig9", seed, 10, func(i int, rng *stats.RNG) (Fig9Point, error) {
 		u := float64(i) / 10
 		sd, err := Slowdown(cfg, utilVector(cfg.Procs, 1, u), rng)
@@ -56,6 +57,7 @@ func Fig10(r *exp.Runner, seed int64) ([]Fig10Point, error) {
 		nonIdle := nonIdleCounts[i/len(granularitiesMS)]
 		g := granularitiesMS[i%len(granularitiesMS)]
 		cfg := DefaultBSPConfig()
+		cfg.Rec = r.Recorder()
 		cfg.ComputePerPhase = g / 1000
 		// Keep total simulated work roughly constant so coarse
 		// granularities do not dominate the run time.
@@ -157,12 +159,14 @@ func Fig11(c ReconfigConfig) ([]Fig11Point, error) {
 		return nil, fmt.Errorf("parallel: ClusterSize must be positive, got %d", c.ClusterSize)
 	}
 	n := c.ClusterSize + 1
-	return exp.RunSeeded(exp.Or(c.Exec, c.Workers), "fig11", c.Seed, n, func(i int, rng *stats.RNG) (Fig11Point, error) {
+	run := exp.Or(c.Exec, c.Workers)
+	return exp.RunSeeded(run, "fig11", c.Seed, n, func(i int, rng *stats.RNG) (Fig11Point, error) {
 		idle := c.ClusterSize - i
 		pt := Fig11Point{IdleNodes: idle, LL: make(map[int]float64)}
 
 		for _, k := range c.LLSizes {
 			cfg := c.jobFor(k)
+			cfg.Rec = run.Recorder()
 			// k processes: idle nodes first, lingering for the remainder.
 			nonIdle := k - idle
 			if nonIdle < 0 {
@@ -180,6 +184,7 @@ func Fig11(c ReconfigConfig) ([]Fig11Point, error) {
 			pt.Reconfig = infCompletion()
 		} else {
 			cfg := c.jobFor(kr)
+			cfg.Rec = run.Recorder()
 			tm, err := RunBSP(cfg, make([]float64, kr), rng)
 			if err != nil {
 				return Fig11Point{}, err

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"lingerlonger/internal/memory"
+	"lingerlonger/internal/obs"
 )
 
 // Agent is one workstation daemon: it executes at most one foreign job at
@@ -43,6 +44,15 @@ type Agent struct {
 	callMu   sync.Mutex // serializes Call; separate from mu (dispatch locks mu)
 	lastSeq  uint64
 	lastResp response
+	dedupC   *obs.Counter // runtime.rpc.dedup_hits; nil = observability off
+}
+
+// SetRecorder attaches an observability recorder: Call increments the
+// runtime.rpc.dedup_hits counter whenever the sequence-number cache
+// suppresses a duplicate request. Metrics are outputs only; the protocol
+// never reads them.
+func (a *Agent) SetRecorder(r *obs.Recorder) {
+	a.dedupC = r.Counter(obs.RPCDedupHits)
 }
 
 // NewAgent returns an agent named name whose owner workload comes from
@@ -249,6 +259,7 @@ func (a *Agent) Call(req request) response {
 	a.callMu.Lock()
 	defer a.callMu.Unlock()
 	if req.Seq != 0 && req.Seq == a.lastSeq {
+		a.dedupC.Inc()
 		return a.lastResp
 	}
 	resp := a.dispatch(req)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"lingerlonger/internal/core"
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/predict"
 )
 
@@ -64,6 +65,13 @@ type CoordinatorConfig struct {
 	// Health sets the suspect/dead thresholds of the failure detector. The
 	// zero value selects core.DefaultHealthPolicy.
 	Health core.HealthPolicy
+
+	// Rec, when non-nil, receives the coordinator's failure-handling
+	// counters (runtime.agents.suspected, runtime.agents.dead,
+	// runtime.jobs.recovered, runtime.duplicates.reaped) and, with a
+	// trace sink attached, one event per health transition, recovery and
+	// migration. Outputs only — no scheduling decision reads them.
+	Rec *obs.Recorder
 }
 
 // DefaultCoordinatorConfig returns LL with the paper's migration cost and
@@ -138,6 +146,22 @@ type Coordinator struct {
 	completedIDs map[int]bool
 	migrations   int
 	counters     RecoveryCounters
+
+	// Observability handles (nil when cfg.Rec is nil; every use is then a
+	// single-branch no-op).
+	cSuspect *obs.Counter
+	cDead    *obs.Counter
+	cRecover *obs.Counter
+	cReaped  *obs.Counter
+}
+
+// emit writes one runtime trace event when a sink is attached. Time is
+// the coordinator's virtual clock.
+func (c *Coordinator) emit(kind, agent string, jobID int) {
+	if !c.cfg.Rec.Tracing() {
+		return
+	}
+	c.cfg.Rec.Emit(obs.Event{Time: c.now, Kind: kind, Agent: agent, Job: jobID})
 }
 
 // transfer is a job in flight between agents. An empty dest marks a
@@ -180,6 +204,10 @@ func NewCoordinator(cfg CoordinatorConfig, agents []AgentClient) (*Coordinator, 
 		cfg:          cfg,
 		decider:      core.Decider{Cost: cfg.Migration},
 		predictor:    pred,
+		cSuspect:     cfg.Rec.Counter(obs.AgentsSuspected),
+		cDead:        cfg.Rec.Counter(obs.AgentsDead),
+		cRecover:     cfg.Rec.Counter(obs.JobsRecovered),
+		cReaped:      cfg.Rec.Counter(obs.DuplicatesReaped),
 		agents:       agents,
 		status:       map[string]AgentStatus{},
 		health:       health,
@@ -279,8 +307,12 @@ func (c *Coordinator) tickAgents(dt float64) error {
 				switch now {
 				case core.Suspect:
 					c.counters.Suspected++
+					c.cSuspect.Inc()
+					c.emit("agent-suspect", name, 0)
 				case core.Dead:
 					c.counters.Died++
+					c.cDead.Inc()
+					c.emit("agent-dead", name, 0)
 					c.recoverAgent(name)
 				}
 			}
@@ -376,6 +408,8 @@ func (c *Coordinator) processStatus(a AgentClient, name string, st AgentStatus) 
 			// Duplicate copy surviving a resurrection: revoke and merge.
 			if j, err := a.Revoke(id); err == nil {
 				c.counters.StaleRevokes++
+				c.cReaped.Inc()
+				c.emit("duplicate-reaped", name, id)
 				c.mergeProgress(*j)
 				acks = append(acks, id)
 			}
@@ -474,6 +508,8 @@ func (c *Coordinator) recoverJob(j Job) {
 		arrival: c.now + core.RecoveryCost(c.cfg.Migration, j.SizeMB),
 	})
 	c.counters.RecoveredJobs++
+	c.cRecover.Inc()
+	c.emit("job-recovered", "", j.ID)
 }
 
 // mergeProgress folds a recovered copy's progress into the coordinator's
@@ -727,6 +763,7 @@ func (c *Coordinator) startMigration(jobID int, src, dest string) error {
 		arrival: c.now + c.cfg.Migration.Time(j.SizeMB),
 	})
 	c.migrations++
+	c.emit("migrate", dest, jobID)
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lingerlonger/internal/exp"
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/stats"
 )
 
@@ -101,11 +102,11 @@ type Partition struct {
 // per-attempt and mutually exclusive (their sum must be <= 1); Partitions
 // override the probabilistic verdict during their window.
 type FaultConfig struct {
-	Drop      float64 // P(request lost before the agent sees it)
-	DropReply float64 // P(call executes, reply lost)
-	Corrupt   float64 // P(call executes, reply frame garbled)
-	Delay     float64 // P(call executes, reply slower than the deadline)
-	Seed      int64
+	Drop       float64 // P(request lost before the agent sees it)
+	DropReply  float64 // P(call executes, reply lost)
+	Corrupt    float64 // P(call executes, reply frame garbled)
+	Delay      float64 // P(call executes, reply slower than the deadline)
+	Seed       int64
 	Partitions map[string]Partition // target name -> severed window
 }
 
@@ -262,13 +263,28 @@ func (f *SeededInjector) Next(target string, kind reqKind) FaultAction {
 // sharing one counter struct must be driven sequentially (the coordinator's
 // step loop is).
 type FaultCounters struct {
-	Attempts      int `json:"attempts"`
-	Retries       int `json:"retries"`
-	Timeouts      int `json:"timeouts"`
-	CorruptFrames int `json:"corruptFrames"`
-	DroppedSends  int `json:"droppedSends"`
+	Attempts       int `json:"attempts"`
+	Retries        int `json:"retries"`
+	Timeouts       int `json:"timeouts"`
+	CorruptFrames  int `json:"corruptFrames"`
+	DroppedSends   int `json:"droppedSends"`
 	DroppedReplies int `json:"droppedReplies"`
-	Delays        int `json:"delays"`
+	Delays         int `json:"delays"`
+}
+
+// Mirror adds the tallies into the observability registry under the
+// runtime.rpc.* names. Clients increment this struct inline (they are
+// driven sequentially by the coordinator's step loop, so plain ints
+// suffice); the run's driver mirrors the totals once at the end, which
+// keeps the RPC path free of any per-call observability cost.
+func (fc *FaultCounters) Mirror(r *obs.Recorder) {
+	if fc == nil || r == nil {
+		return
+	}
+	r.Counter(obs.RPCAttempts).Add(int64(fc.Attempts))
+	r.Counter(obs.RPCRetries).Add(int64(fc.Retries))
+	r.Counter(obs.RPCTimeouts).Add(int64(fc.Timeouts))
+	r.Counter(obs.RPCCorruptFrames).Add(int64(fc.CorruptFrames))
 }
 
 // RetryConfig bounds the retry loop every client runs around a transient

@@ -12,6 +12,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"lingerlonger/internal/obs"
 )
 
 // Handler is the callback invoked when an event fires. The engine passes
@@ -56,6 +58,17 @@ type Engine struct {
 	halted bool
 	budget uint64 // max events to fire; 0 = unlimited
 	err    error  // sticky *BudgetError once the budget is exhausted
+
+	firedC *obs.Counter // pre-resolved sim.events.fired handle; nil = off
+}
+
+// SetRecorder attaches an observability recorder. The counter handle is
+// resolved once here, so the Step hot loop pays a single nil-check per
+// event when observability is disabled (the <5% overhead budget of
+// DESIGN.md §11). Metrics are a side channel: nothing in the engine reads
+// them back, so attaching a recorder can never change simulation results.
+func (e *Engine) SetRecorder(r *obs.Recorder) {
+	e.firedC = r.Counter(obs.SimEventsFired)
 }
 
 // SetEventBudget bounds the total number of events the engine will fire;
@@ -139,6 +152,7 @@ func (e *Engine) Step() bool {
 	ev.index = -1
 	e.now = ev.time
 	e.fired++
+	e.firedC.Inc()
 	ev.handler(e)
 	return true
 }
