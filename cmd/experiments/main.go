@@ -86,7 +86,11 @@ func realMain() (err error) {
 		crashAfter = flag.Int("crashafter", 0, "TESTING: abort after N checkpoint saves, simulating a mid-run kill")
 		faultPoint = flag.String("faultpoint", "", "TESTING: inject a fault at sweep:index:mode (mode: panic, error, flaky, hang)")
 	)
+	cli.RegisterVersionFlag()
 	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("experiments")
+	}
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}

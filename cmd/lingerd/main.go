@@ -70,7 +70,11 @@ func realMain() (err error) {
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report instead of progress lines")
 		seed      = flag.Int64("seed", 1, "master seed for retry jitter streams")
 	)
+	cli.RegisterVersionFlag()
 	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("lingerd")
+	}
 
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))

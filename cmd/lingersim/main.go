@@ -46,7 +46,11 @@ func realMain() (err error) {
 		machines  = flag.Int("machines", 16, "trace corpus size")
 		days      = flag.Int("days", 2, "trace length, days")
 	)
+	cli.RegisterVersionFlag()
 	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("lingersim")
+	}
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}

@@ -1,0 +1,320 @@
+// Command llload is a seeded, closed-loop load generator for llserve: a
+// fixed pool of workers each keeps exactly one request in flight until
+// the request budget is spent, then the run prints a JSON
+// latency/throughput summary to stdout.
+//
+// Usage:
+//
+//	llload -url http://127.0.0.1:8080 [-requests 200] [-concurrency 8]
+//	       [-mix decide=1,node=1,cluster=1] [-distinct 8] [-seed 1]
+//	       [-cluster-scale 1] [-version]
+//
+// Request i of the run is a pure function of (seed, i): its endpoint is
+// drawn from the -mix weights and its parameters from one of -distinct
+// deterministic variants, via the repository's DeriveSeed splitter. The
+// summary therefore includes a resultDigest — a SHA-256 over the
+// (index, status, body-hash) sequence — and two runs with the same seed
+// against deterministic servers must print the same digest, whatever the
+// concurrency: that is the service's cached == fresh contract, checked
+// end to end (CI runs llload twice, cold then warm, and compares).
+//
+// Exit codes: 0 on success (even with failed requests — the summary
+// reports them), 1 on runtime failure, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lingerlonger/internal/cli"
+	"lingerlonger/internal/exp"
+	"lingerlonger/internal/serve"
+	"lingerlonger/internal/stats"
+)
+
+func main() {
+	cli.Run("llload", realMain)
+}
+
+// mixEntry is one weighted endpoint of the request mix.
+type mixEntry struct {
+	endpoint string
+	weight   int
+}
+
+// parseMix parses "decide=1,node=1,cluster=1" into weighted entries.
+func parseMix(s string) ([]mixEntry, error) {
+	var out []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want endpoint=weight", part)
+		}
+		switch name {
+		case serve.EndpointDecide, serve.EndpointNode, serve.EndpointCluster:
+		default:
+			return nil, fmt.Errorf("mix entry %q: unknown endpoint (want decide, node or cluster)", part)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		if w > 0 {
+			out = append(out, mixEntry{endpoint: name, weight: w})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mix %q selects no endpoint", s)
+	}
+	return out, nil
+}
+
+// endpointPath maps an endpoint name to its URL path.
+func endpointPath(endpoint string) string {
+	if endpoint == serve.EndpointDecide {
+		return "/v1/decide/linger"
+	}
+	return "/v1/simulate/" + endpoint
+}
+
+// genRequest derives request i of the run: endpoint from the mix weights,
+// parameters from one of `distinct` variants. Everything is drawn from an
+// RNG seeded with DeriveSeed(seed, i), so the request stream is a pure
+// function of (seed, i) — independent of worker count and wall-clock.
+func genRequest(seed int64, i int, mix []mixEntry, totalWeight, distinct, clusterScale int) (endpoint string, body []byte) {
+	rng := stats.NewRNG(exp.DeriveSeed(seed, i))
+	pick := rng.Intn(totalWeight)
+	for _, m := range mix {
+		if pick < m.weight {
+			endpoint = m.endpoint
+			break
+		}
+		pick -= m.weight
+	}
+	v := rng.Intn(distinct)
+	var req any
+	switch endpoint {
+	case serve.EndpointDecide:
+		req = &serve.DecideRequest{
+			SourceUtil: 0.5 + 0.04*float64(v%10),
+			DestUtil:   0.05 * float64(v%8),
+			JobMB:      8,
+			EpisodeAge: float64(5 * (v + 1)),
+		}
+	case serve.EndpointNode:
+		req = &serve.NodeRequest{
+			Utilization: 0.05 * float64(v%12),
+			Duration:    200,
+			Seed:        int64(v + 1),
+		}
+	case serve.EndpointCluster:
+		// Small, fast cluster runs (a few milliseconds cold) at scale 1,
+		// so the cold/warm contrast measures the cache, not one giant
+		// simulation. -cluster-scale multiplies the cluster and job-batch
+		// size for benchmarks that want each miss to cost real CPU.
+		req = &serve.ClusterRequest{
+			Policy:        []string{"LL", "LF", "IE", "PM"}[v%4],
+			Nodes:         8 * clusterScale,
+			NumJobs:       8 * clusterScale,
+			JobCPU:        60,
+			TraceMachines: 2,
+			TraceDays:     1,
+			Seed:          int64(v/4 + 1),
+		}
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		panic(fmt.Sprintf("llload: marshal request: %v", err))
+	}
+	return endpoint, data
+}
+
+// outcome is the recorded result of one request, collected by index so
+// the digest is independent of completion order.
+type outcome struct {
+	status   int
+	bodyHash [32]byte
+	latency  float64
+	err      bool
+}
+
+// summary is the JSON report printed to stdout.
+type summary struct {
+	URL            string         `json:"url"`
+	Seed           int64          `json:"seed"`
+	Requests       int            `json:"requests"`
+	Concurrency    int            `json:"concurrency"`
+	Mix            string         `json:"mix"`
+	Distinct       int            `json:"distinct"`
+	Errors         int            `json:"errors"`
+	StatusCounts   map[string]int `json:"statusCounts"`
+	WallSeconds    float64        `json:"wallSeconds"`
+	ThroughputRPS  float64        `json:"throughputRPS"`
+	LatencySeconds latencySummary `json:"latencySeconds"`
+	ResultDigest   string         `json:"resultDigest"`
+	ByEndpoint     map[string]int `json:"byEndpoint"`
+}
+
+type latencySummary struct {
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func realMain() error {
+	cli.RegisterVersionFlag()
+	var (
+		baseURL     = flag.String("url", "http://127.0.0.1:8080", "llserve base URL")
+		requests    = flag.Int("requests", 200, "total requests to issue")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers (one request in flight each)")
+		mixSpec     = flag.String("mix", "decide=1,node=1,cluster=1", "endpoint weights, e.g. decide=8,node=1,cluster=1")
+		distinct    = flag.Int("distinct", 8, "distinct parameter variants per endpoint (small = cache-friendly)")
+		seed        = flag.Int64("seed", 1, "request-stream seed")
+		scale       = flag.Int("cluster-scale", 1, "multiplier on cluster request size (heavier per-miss cost)")
+	)
+	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("llload")
+	}
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
+	if *requests <= 0 {
+		return cli.Usagef("-requests must be positive, got %d", *requests)
+	}
+	if *concurrency <= 0 {
+		return cli.Usagef("-concurrency must be positive, got %d", *concurrency)
+	}
+	if *distinct <= 0 {
+		return cli.Usagef("-distinct must be positive, got %d", *distinct)
+	}
+	if *scale <= 0 {
+		return cli.Usagef("-cluster-scale must be positive, got %d", *scale)
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	totalWeight := 0
+	for _, m := range mix {
+		totalWeight += m.weight
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	outcomes := make([]outcome, *requests)
+	endpoints := make([]string, *requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				endpoint, body := genRequest(*seed, i, mix, totalWeight, *distinct, *scale)
+				endpoints[i] = endpoint
+				t0 := time.Now()
+				resp, err := client.Post(*baseURL+endpointPath(endpoint), "application/json", bytes.NewReader(body))
+				if err != nil {
+					outcomes[i] = outcome{err: true, latency: time.Since(t0).Seconds()}
+					continue
+				}
+				data, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					outcomes[i] = outcome{err: true, status: resp.StatusCode, latency: time.Since(t0).Seconds()}
+					continue
+				}
+				outcomes[i] = outcome{
+					status:   resp.StatusCode,
+					bodyHash: sha256.Sum256(data),
+					latency:  time.Since(t0).Seconds(),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	// Digest: (index, status, body hash) in index order — identical across
+	// runs iff every request got byte-identical result bytes.
+	dig := sha256.New()
+	var idx [8]byte
+	sum := summary{
+		URL:          *baseURL,
+		Seed:         *seed,
+		Requests:     *requests,
+		Concurrency:  *concurrency,
+		Mix:          *mixSpec,
+		Distinct:     *distinct,
+		StatusCounts: map[string]int{},
+		ByEndpoint:   map[string]int{},
+		WallSeconds:  wall,
+	}
+	latencies := make([]float64, 0, *requests)
+	for i, o := range outcomes {
+		binary.BigEndian.PutUint64(idx[:], uint64(i))
+		dig.Write(idx[:])
+		if o.err {
+			sum.Errors++
+			dig.Write([]byte("transport-error"))
+		} else {
+			binary.BigEndian.PutUint64(idx[:], uint64(o.status))
+			dig.Write(idx[:])
+			dig.Write(o.bodyHash[:])
+			sum.StatusCounts[strconv.Itoa(o.status)]++
+		}
+		sum.ByEndpoint[endpoints[i]]++
+		latencies = append(latencies, o.latency)
+	}
+	sum.ResultDigest = "sha256:" + hex.EncodeToString(dig.Sum(nil))
+	if wall > 0 {
+		sum.ThroughputRPS = float64(*requests) / wall
+	}
+	sort.Float64s(latencies)
+	if n := len(latencies); n > 0 {
+		total := 0.0
+		for _, l := range latencies {
+			total += l
+		}
+		q := func(p float64) float64 { return latencies[min(n-1, int(p*float64(n)))] }
+		sum.LatencySeconds = latencySummary{
+			Min:  latencies[0],
+			Mean: total / float64(n),
+			P50:  q(0.50),
+			P90:  q(0.90),
+			P99:  q(0.99),
+			Max:  latencies[n-1],
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&sum)
+}

@@ -1,0 +1,119 @@
+// Command llserve runs the simulation-as-a-service HTTP server: the
+// deterministic simulators behind POST /v1/simulate/cluster,
+// POST /v1/simulate/node and POST /v1/decide/linger, with a
+// content-addressed result cache, singleflight deduplication, a bounded
+// admission queue (429 + Retry-After under overload), per-request
+// deadlines with panic isolation, and /healthz, /readyz, /metrics.
+// Pure stdlib; see DESIGN.md §12 and README "Serving simulations".
+//
+// Usage:
+//
+//	llserve [-addr 127.0.0.1:8080] [-workers N] [-queue 64]
+//	        [-cache-entries 1024] [-timeout 30s] [-drain 10s]
+//	        [-metrics FILE] [-events FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-version]
+//
+// SIGINT/SIGTERM drains gracefully: /readyz flips to 503, in-flight
+// requests complete (up to -drain), then the process exits 0.
+//
+// Exit codes: 0 on success, 1 on runtime failure, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lingerlonger/internal/cli"
+	"lingerlonger/internal/serve"
+)
+
+func main() {
+	cli.Run("llserve", realMain)
+}
+
+func realMain() (err error) {
+	var o cli.Obs
+	o.RegisterFlags()
+	cli.RegisterVersionFlag()
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulations (<= 0 selects GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "admission queue depth beyond the executing requests")
+		entries = flag.Int("cache-entries", 1024, "result cache capacity (0 disables storage)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("llserve")
+	}
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
+	if *queue < 0 {
+		return cli.Usagef("-queue must be non-negative, got %d", *queue)
+	}
+	if *entries < 0 {
+		return cli.Usagef("-cache-entries must be non-negative, got %d", *entries)
+	}
+	if *timeout <= 0 {
+		return cli.Usagef("-timeout must be positive, got %s", *timeout)
+	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	defer o.Finish(&err)
+	// A server always carries a registry: /metrics must answer whether or
+	// not an exit dump (-metrics) was requested.
+	o.EnsureRegistry()
+
+	cfg := serve.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queue
+	cfg.CacheEntries = *entries
+	cfg.RequestTimeout = *timeout
+	cfg.Rec = o.Recorder()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Printf("llserve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener failed before any signal.
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately rather than re-draining
+	fmt.Fprintln(os.Stderr, "llserve: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "llserve: drained, exiting")
+	return nil
+}

@@ -37,7 +37,11 @@ func realMain() (err error) {
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		csList = flag.String("cs", "100,300,500", "effective context-switch times, microseconds")
 	)
+	cli.RegisterVersionFlag()
 	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("nodesim")
+	}
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}

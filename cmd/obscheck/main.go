@@ -27,7 +27,11 @@ func main() {
 }
 
 func realMain() error {
+	cli.RegisterVersionFlag()
 	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("obscheck")
+	}
 	if flag.NArg() == 0 {
 		return cli.Usagef("usage: obscheck FILE...")
 	}

@@ -43,7 +43,11 @@ func realMain() (err error) {
 		fig12   = flag.Bool("fig12", false, "run Figure 12 (application slowdowns)")
 		fig13   = flag.Bool("fig13", false, "run Figure 13 (applications: linger vs reconfiguration)")
 	)
+	cli.RegisterVersionFlag()
 	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("parsim")
+	}
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}

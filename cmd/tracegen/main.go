@@ -49,7 +49,11 @@ func realMain() (err error) {
 		export    = flag.String("export", "", "write the generated corpus to `dir` in lltrace text format")
 		load      = flag.String("load", "", "analyze traces loaded from `dir` instead of generating them")
 	)
+	cli.RegisterVersionFlag()
 	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("tracegen")
+	}
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}

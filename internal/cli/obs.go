@@ -103,6 +103,19 @@ func (o *Obs) Start() error {
 // -events was given, which is the disabled fast path.
 func (o *Obs) Recorder() *obs.Recorder { return o.rec }
 
+// EnsureRegistry forces a live registry (and recorder) even when no
+// -metrics flag was given. Long-running commands use it: llserve must
+// answer GET /metrics whether or not an exit dump was requested. Call
+// after Start; when -metrics was given the dump still happens at Finish,
+// over this same registry.
+func (o *Obs) EnsureRegistry() *obs.Registry {
+	if o.reg == nil {
+		o.reg = obs.NewRegistry()
+		o.rec = obs.New(o.reg, o.sink)
+	}
+	return o.reg
+}
+
 // Registry returns the metric registry (nil when observability is off).
 func (o *Obs) Registry() *obs.Registry { return o.reg }
 

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// The shared -version flag. Every command registers it next to the obs
+// flags and checks it right after flag.Parse:
+//
+//	cli.RegisterVersionFlag()
+//	flag.Parse()
+//	if cli.VersionRequested() {
+//		return cli.PrintVersion("name")
+//	}
+//
+// The output is stamped from runtime/debug.ReadBuildInfo, so a plain
+// `go build` already carries the module version, VCS revision and dirty
+// bit without any ldflags ceremony.
+
+var versionRequested bool
+
+// RegisterVersionFlag registers -version on the default flag set. Call
+// before flag.Parse (once per process, like every flag registration).
+func RegisterVersionFlag() {
+	flag.BoolVar(&versionRequested, "version", false, "print build information and exit")
+}
+
+// VersionRequested reports whether -version was given.
+func VersionRequested() bool { return versionRequested }
+
+// PrintVersion writes the build-info report for command name to stdout
+// and returns nil, so a command's realMain can `return cli.PrintVersion(...)`.
+func PrintVersion(name string) error {
+	WriteBuildInfo(os.Stdout, name)
+	return nil
+}
+
+// WriteBuildInfo renders the build-info report: command name, module
+// version, Go toolchain, platform, and — when the binary was built from a
+// VCS checkout — revision, commit time and dirty state.
+func WriteBuildInfo(w io.Writer, name string) {
+	version := "(devel)"
+	var revision, vcsTime, modified string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.time":
+				vcsTime = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s %s %s %s/%s\n", name, version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if revision != "" {
+		dirty := ""
+		if modified == "true" {
+			dirty = " (dirty)"
+		}
+		fmt.Fprintf(w, "  vcs %s %s%s\n", revision, vcsTime, dirty)
+	}
+}

@@ -61,6 +61,18 @@ const (
 	ExpPointSeconds   = "exp.point_seconds"   // histogram
 	ExpFigureSeconds  = "exp.figure_seconds"  // gauge
 
+	// HTTP scheduling service (internal/serve); request metrics labeled
+	// {endpoint=cluster|node|decide}.
+	ServeRequests       = "serve.requests"        // counter
+	ServeBadRequests    = "serve.bad_requests"    // counter
+	ServeShed           = "serve.shed"            // counter
+	ServeCacheHits      = "serve.cache.hits"      // counter
+	ServeCacheMisses    = "serve.cache.misses"    // counter
+	ServeCacheEvictions = "serve.cache.evictions" // counter
+	ServeDedupWaits     = "serve.dedup.waits"     // counter
+	ServeQueueDepth     = "serve.queue.depth"     // gauge
+	ServeRequestSeconds = "serve.request_seconds" // histogram
+
 	// Whole-process (set once by the CLI layer at exit).
 	RunWallSeconds = "run.wall_seconds" // gauge
 )
@@ -98,6 +110,15 @@ var Catalog = []Def{
 	{ExpPointsRetried, KindCounter, "sweep point attempts retried after a transient failure"},
 	{ExpPointSeconds, KindHistogram, "wall-clock per sweep point, seconds"},
 	{ExpFigureSeconds, KindGauge, "wall-clock of one figure/table step, seconds, labeled {figure=...}; -timing reads these back"},
+	{ServeRequests, KindCounter, "HTTP simulation requests accepted for processing, per endpoint"},
+	{ServeBadRequests, KindCounter, "HTTP requests rejected with 400 (malformed JSON, out-of-range params, oversized bodies)"},
+	{ServeShed, KindCounter, "HTTP requests shed with 429 because the admission queue was full"},
+	{ServeCacheHits, KindCounter, "simulation requests answered from the content-addressed result cache"},
+	{ServeCacheMisses, KindCounter, "simulation requests that had to compute a fresh result"},
+	{ServeCacheEvictions, KindCounter, "cached results evicted by the LRU policy at capacity"},
+	{ServeDedupWaits, KindCounter, "requests coalesced onto an identical in-flight computation (singleflight dedup)"},
+	{ServeQueueDepth, KindGauge, "admission tickets currently held (requests queued or executing)"},
+	{ServeRequestSeconds, KindHistogram, "wall-clock HTTP request latency, seconds, per endpoint"},
 	{RunWallSeconds, KindGauge, "total wall-clock of the whole command run, seconds"},
 }
 

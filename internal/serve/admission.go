@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"lingerlonger/internal/obs"
+)
+
+// ErrQueueFull marks a request shed at admission: every ticket (executing
+// plus waiting) was taken. The HTTP layer answers 429 + Retry-After for
+// it — bounded memory under overload instead of an unbounded backlog.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// admission is the bounded queue in front of the simulation workers. It
+// holds workers+depth tickets: a request that cannot take a ticket
+// immediately is shed (ErrQueueFull), an admitted request waits for one
+// of the workers execution slots (or its context deadline), so at most
+// `workers` simulations run concurrently and at most `depth` requests
+// wait in line. Memory under overload is therefore O(workers+depth),
+// never O(offered load).
+type admission struct {
+	tickets chan struct{} // capacity workers+depth: admission bound
+	exec    chan struct{} // capacity workers: execution bound
+	depth   *obs.Gauge    // serve.queue.depth, sampled on every transition
+}
+
+// newAdmission builds the queue. workers must be positive (the caller
+// resolves <= 0 via exp.Workers first); depth may be zero, which sheds
+// anything that cannot start executing immediately.
+func newAdmission(workers, depth int, rec *obs.Recorder) *admission {
+	return &admission{
+		tickets: make(chan struct{}, workers+depth),
+		exec:    make(chan struct{}, workers),
+		depth:   rec.Gauge(obs.ServeQueueDepth),
+	}
+}
+
+// Run executes fn under the admission policy: shed when full, wait for a
+// worker slot until ctx expires, then run. The returned error is
+// ErrQueueFull, the context's error, or fn's own.
+func (a *admission) Run(ctx context.Context, fn func() ([]byte, error)) ([]byte, error) {
+	select {
+	case a.tickets <- struct{}{}:
+	default:
+		return nil, ErrQueueFull
+	}
+	a.depth.Set(float64(len(a.tickets)))
+	defer func() {
+		<-a.tickets
+		a.depth.Set(float64(len(a.tickets)))
+	}()
+
+	select {
+	case a.exec <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-a.exec }()
+	return fn()
+}
+
+// Held reports the number of tickets currently taken (executing plus
+// waiting) — a test observability hook.
+func (a *admission) Held() int { return len(a.tickets) }

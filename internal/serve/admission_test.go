@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionShedsWhenFull(t *testing.T) {
+	rec, _ := testRecorder(t)
+	a := newAdmission(1, 1, rec) // 1 executing + 1 waiting = 2 tickets
+
+	hold := make(chan struct{})
+	running := make(chan struct{})
+	done := make(chan error, 2)
+	run := func() {
+		_, err := a.Run(context.Background(), func() ([]byte, error) {
+			close(running)
+			<-hold
+			return nil, nil
+		})
+		done <- err
+	}
+	go run()
+	<-running // the worker slot is taken
+
+	// Second request takes the waiting ticket.
+	queued := make(chan error, 1)
+	go func() {
+		_, err := a.Run(context.Background(), func() ([]byte, error) { return nil, nil })
+		queued <- err
+	}()
+	for a.Held() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request finds no ticket: shed immediately, not blocked.
+	_, err := a.Run(context.Background(), func() ([]byte, error) { return nil, nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow request: err = %v, want ErrQueueFull", err)
+	}
+
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatalf("held request failed: %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+}
+
+func TestAdmissionRespectsContextWhileQueued(t *testing.T) {
+	rec, _ := testRecorder(t)
+	a := newAdmission(1, 4, rec)
+
+	hold := make(chan struct{})
+	running := make(chan struct{})
+	go a.Run(context.Background(), func() ([]byte, error) {
+		close(running)
+		<-hold
+		return nil, nil
+	})
+	<-running
+	defer close(hold)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := a.Run(ctx, func() ([]byte, error) {
+		t.Error("deadline-expired request must not execute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued past deadline: err = %v, want DeadlineExceeded", err)
+	}
+	if a.Held() != 1 {
+		t.Fatalf("ticket leaked: held = %d, want 1", a.Held())
+	}
+}
+
+func TestAdmissionReleasesTickets(t *testing.T) {
+	rec, _ := testRecorder(t)
+	a := newAdmission(2, 2, rec)
+	for i := 0; i < 50; i++ {
+		if _, err := a.Run(context.Background(), func() ([]byte, error) { return []byte("x"), nil }); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if a.Held() != 0 {
+		t.Fatalf("after serial load: held = %d, want 0", a.Held())
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"lingerlonger/internal/obs"
+)
+
+// cache is a sharded LRU of response bytes, content-addressed by
+// CacheKey, with singleflight-style in-flight deduplication: concurrent
+// callers of Do with the same key share one computation. Values are
+// immutable once stored (exact response bodies), which is what makes the
+// cached == fresh byte-identity contract trivial — a hit returns the very
+// bytes the miss produced.
+type cache struct {
+	shards []*cacheShard
+
+	// Pre-resolved metric handles (nil-safe when observability is off).
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	waits     *obs.Counter
+}
+
+// cacheShard is one independently-locked slice of the key space.
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recently used
+	entries  map[string]*list.Element // key -> element whose Value is *cacheEntry
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// newCache builds a cache of totalEntries spread over nshards shards.
+// totalEntries == 0 disables storage (every Do computes; dedup still
+// coalesces concurrent identical requests).
+func newCache(totalEntries, nshards int, rec *obs.Recorder) *cache {
+	per := totalEntries / nshards
+	if totalEntries%nshards != 0 {
+		per++
+	}
+	c := &cache{
+		shards:    make([]*cacheShard, nshards),
+		hits:      rec.Counter(obs.ServeCacheHits),
+		misses:    rec.Counter(obs.ServeCacheMisses),
+		evictions: rec.Counter(obs.ServeCacheEvictions),
+		waits:     rec.Counter(obs.ServeDedupWaits),
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			capacity: per,
+			order:    list.New(),
+			entries:  map[string]*list.Element{},
+			inflight: map[string]*flight{},
+		}
+	}
+	return c
+}
+
+// shard maps a key to its shard by FNV-1a, independent of the SHA-256
+// content address so a pathological key distribution cannot pile onto
+// one lock.
+func (c *cache) shard(key string) *cacheShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// Do returns the cached bytes for key, or runs compute exactly once per
+// key at a time: the first caller (the leader) computes while concurrent
+// callers with the same key wait for its result. Successful results are
+// stored (LRU-evicting at capacity); errors are returned to the leader
+// and every waiting follower but never cached, so the next request
+// retries. hit reports whether the bytes came from the cache (a follower
+// that waited on the leader counts as a miss — the simulation did run,
+// just once for the whole herd).
+func (c *cache) Do(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		body = el.Value.(*cacheEntry).body
+		s.mu.Unlock()
+		c.hits.Inc()
+		return body, true, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.waits.Inc()
+		<-f.done
+		return f.body, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	c.misses.Inc()
+	f.body, f.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil && s.capacity > 0 {
+		s.entries[key] = s.order.PushFront(&cacheEntry{key: key, body: f.body})
+		for s.order.Len() > s.capacity {
+			oldest := s.order.Back()
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions.Inc()
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.body, false, f.err
+}
+
+// Len returns the number of stored entries across all shards.
+func (c *cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

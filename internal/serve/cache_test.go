@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lingerlonger/internal/obs"
+)
+
+// testRecorder builds a live recorder plus its registry for assertions.
+func testRecorder(t *testing.T) (*obs.Recorder, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	return obs.New(reg, nil), reg
+}
+
+func TestCacheHitReturnsStoredBytes(t *testing.T) {
+	rec, reg := testRecorder(t)
+	c := newCache(8, 2, rec)
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("result-a"), nil }
+
+	body, hit, err := c.Do("k1", compute)
+	if err != nil || hit || string(body) != "result-a" {
+		t.Fatalf("first Do: body=%q hit=%v err=%v", body, hit, err)
+	}
+	body2, hit2, err := c.Do("k1", compute)
+	if err != nil || !hit2 {
+		t.Fatalf("second Do: hit=%v err=%v", hit2, err)
+	}
+	if string(body2) != "result-a" || calls != 1 {
+		t.Fatalf("cached bytes %q after %d compute calls, want identical bytes from 1 call", body2, calls)
+	}
+	if got := reg.Counter(obs.ServeCacheHits).Value(); got != 1 {
+		t.Errorf("cache hits counter = %d, want 1", got)
+	}
+	if got := reg.Counter(obs.ServeCacheMisses).Value(); got != 1 {
+		t.Errorf("cache misses counter = %d, want 1", got)
+	}
+}
+
+// TestCacheSingleflight is the thundering-herd contract: N concurrent
+// identical requests cost exactly one simulation. The leader's compute
+// blocks until every follower is provably waiting (the dedup counter is
+// incremented under the shard lock before a follower parks), so the
+// assertion is deterministic, not timing-dependent.
+func TestCacheSingleflight(t *testing.T) {
+	const herd = 16
+	rec, reg := testRecorder(t)
+	c := newCache(8, 1, rec)
+
+	release := make(chan struct{})
+	var computes atomic.Int64
+	compute := func() ([]byte, error) {
+		computes.Add(1)
+		<-release
+		return []byte("shared"), nil
+	}
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _, err := c.Do("hot", compute)
+			if err != nil {
+				t.Errorf("herd member %d: %v", i, err)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	// Wait until the other herd members are all registered as followers.
+	waits := reg.Counter(obs.ServeDedupWaits)
+	for waits.Value() < herd-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("herd of %d triggered %d computations, want 1", herd, n)
+	}
+	for i, b := range bodies {
+		if string(b) != "shared" {
+			t.Fatalf("herd member %d got %q", i, b)
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	rec, reg := testRecorder(t)
+	c := newCache(2, 1, rec) // one shard so capacity is exact
+	calls := map[string]int{}
+	get := func(key string) {
+		t.Helper()
+		if _, _, err := c.Do(key, func() ([]byte, error) {
+			calls[key]++
+			return []byte(key), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now least recently used
+	get("c") // evicts b
+	if got := reg.Counter(obs.ServeCacheEvictions).Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	get("a") // still cached
+	get("b") // evicted: recomputes (and evicts the next LRU entry)
+	if calls["a"] != 1 {
+		t.Errorf("a computed %d times, want 1 (should have stayed cached)", calls["a"])
+	}
+	if calls["b"] != 2 {
+		t.Errorf("b computed %d times, want 2 (should have been evicted)", calls["b"])
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2 (capacity)", c.Len())
+	}
+}
+
+// TestCacheErrorNotCached: a failed computation must not poison the key.
+func TestCacheErrorNotCached(t *testing.T) {
+	rec, _ := testRecorder(t)
+	c := newCache(8, 2, rec)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do("k", func() ([]byte, error) { calls++; return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	body, hit, err := c.Do("k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	if err != nil || hit || string(body) != "ok" || calls != 2 {
+		t.Fatalf("retry after error: body=%q hit=%v err=%v calls=%d", body, hit, err, calls)
+	}
+}
+
+// TestCacheShardDistribution: keys spread across shards (no single-lock
+// pileup for realistic key populations).
+func TestCacheShardDistribution(t *testing.T) {
+	rec, _ := testRecorder(t)
+	c := newCache(1024, 8, rec)
+	for i := 0; i < 256; i++ {
+		key := CacheKey(EndpointNode, &NodeRequest{Utilization: float64(i) / 1000, Seed: int64(i)})
+		if _, _, err := c.Do(key, func() ([]byte, error) { return []byte("x"), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touched := 0
+	for _, s := range c.shards {
+		if s.order.Len() > 0 {
+			touched++
+		}
+	}
+	if touched < 4 {
+		t.Errorf("256 keys landed on only %d of 8 shards", touched)
+	}
+}
+
+func TestCacheZeroCapacityStillDedups(t *testing.T) {
+	rec, _ := testRecorder(t)
+	c := newCache(0, 2, rec)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		body, hit, err := c.Do("k", func() ([]byte, error) {
+			calls++
+			return []byte(fmt.Sprint("v", calls)), nil
+		})
+		if err != nil || hit {
+			t.Fatalf("call %d: hit=%v err=%v", i, hit, err)
+		}
+		if want := fmt.Sprint("v", i+1); string(body) != want {
+			t.Fatalf("call %d: body=%q want %q", i, body, want)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("zero-capacity cache stored %d entries", c.Len())
+	}
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"lingerlonger/internal/cluster"
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/node"
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/trace"
+	"lingerlonger/internal/workload"
+)
+
+// This file turns normalized requests into response bytes. Every compute
+// function is a pure function of its request — same request, same bytes,
+// whatever goroutine or process runs it — which is the property the cache
+// and the llload determinism check both lean on. The simulators receive
+// no recorder here: per-request instrumentation lives in the HTTP layer
+// (serve.* metrics), and keeping the simulation uninstrumented makes the
+// response a function of the request alone.
+
+// marshalBody renders a response struct to the exact bytes the client
+// receives (and the cache stores): compact JSON plus a trailing newline.
+func marshalBody(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode response: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// computeCluster runs one batch cluster simulation (and, when requested,
+// the steady-state throughput experiment) per the normalized request.
+func computeCluster(q *ClusterRequest) ([]byte, error) {
+	policy, err := core.ParsePolicy(q.Policy)
+	if err != nil {
+		return nil, badf("%v", err) // unreachable after normalize; kept for safety
+	}
+
+	tcfg := trace.DefaultConfig()
+	tcfg.Days = q.TraceDays
+	corpus, err := trace.GenerateCorpus(tcfg, q.TraceMachines, stats.NewRNG(q.Seed))
+	if err != nil {
+		return nil, err
+	}
+
+	var cfg cluster.Config
+	if q.Workload == 2 {
+		cfg = cluster.Workload2(policy)
+	} else {
+		cfg = cluster.Workload1(policy)
+	}
+	cfg.Nodes = q.Nodes
+	cfg.Seed = q.Seed
+	if q.NumJobs > 0 {
+		cfg.NumJobs = float64(q.NumJobs)
+	}
+	if q.JobCPU > 0 {
+		cfg.JobCPU = q.JobCPU
+	}
+	if q.JobMB > 0 {
+		cfg.JobMB = q.JobMB
+	}
+	if q.MaxTime > 0 {
+		cfg.MaxTime = q.MaxTime
+	}
+
+	res, err := cluster.Run(cfg, corpus)
+	if err != nil {
+		return nil, err
+	}
+	resp := ClusterResponse{
+		Policy:               policy.String(),
+		Workload:             q.Workload,
+		Nodes:                q.Nodes,
+		Seed:                 q.Seed,
+		AvgCompletionSeconds: res.AvgCompletion,
+		Variation:            res.Variation,
+		FamilyTimeSeconds:    res.FamilyTime,
+		LocalDelay:           res.LocalDelay,
+		Migrations:           res.Migrations,
+		Evictions:            res.Evictions,
+		Incomplete:           res.Incomplete,
+		Breakdown: ClusterBreakdown{
+			Queued:    res.Breakdown.Queued,
+			Running:   res.Breakdown.Running,
+			Lingering: res.Breakdown.Lingering,
+			Paused:    res.Breakdown.Paused,
+			Migrating: res.Breakdown.Migrating,
+		},
+	}
+	if q.ThroughputDur > 0 {
+		tp, err := cluster.RunThroughput(cfg, corpus, q.ThroughputDur)
+		if err != nil {
+			return nil, err
+		}
+		resp.Throughput = &ThroughputSummary{
+			CPUSecondsPerSecond: tp.Throughput,
+			LocalDelay:          tp.LocalDelay,
+			Completed:           tp.Completed,
+			Migrations:          tp.Migrations,
+		}
+	}
+	return marshalBody(&resp)
+}
+
+// computeNode runs one single-node lingering experiment: an
+// always-runnable foreign job on a node at the requested constant local
+// utilization, reporting the owner's delay ratio and the foreign job's
+// cycle-stealing ratio.
+func computeNode(q *NodeRequest) ([]byte, error) {
+	n := node.New(
+		node.Config{ContextSwitch: q.ContextSwitchUS * 1e-6},
+		workload.DefaultTable(),
+		workload.ConstantUtilization(q.Utilization),
+		stats.NewRNG(q.Seed),
+	)
+	n.ServeForeign(math.Inf(1), q.Duration)
+	return marshalBody(&NodeResponse{
+		Utilization:       q.Utilization,
+		ContextSwitchUS:   q.ContextSwitchUS,
+		Seed:              q.Seed,
+		LDR:               n.LDR(),
+		FCSR:              n.FCSR(),
+		Preemptions:       n.Preemptions(),
+		ForeignCPUSeconds: n.ForeignCPU(),
+	})
+}
+
+// computeDecide evaluates the §2 cost model: Tmigr from the migration
+// parameters, Tlingr = ((1-l)/(h-l))·Tmigr, and the migrate verdict for
+// the given episode age under the 2x-age predictor (predicted remainder
+// = age, so migrate once age reaches Tlingr). This is the cheap fast
+// path — no trace replay, no event loop — so the HTTP layer computes it
+// inline without taking an admission ticket.
+func computeDecide(q *DecideRequest) ([]byte, error) {
+	cost := core.MigrationCost{
+		SourceProcessing: q.SourceProcessing,
+		DestProcessing:   q.DestProcessing,
+		BandwidthMbps:    q.BandwidthMbps,
+	}
+	tmigr := cost.Time(q.JobMB)
+	resp := DecideResponse{MigrationSeconds: tmigr}
+	tlingr := core.LingerDuration(q.SourceUtil, q.DestUtil, tmigr)
+	if math.IsInf(tlingr, 1) {
+		resp.NeverBeneficial = true
+	} else {
+		resp.LingerSeconds = &tlingr
+		resp.Migrate = q.EpisodeAge >= tlingr
+	}
+	return marshalBody(&resp)
+}
+
+// compute dispatches a normalized request (as returned by DecodeRequest)
+// to its simulator.
+func compute(req any) ([]byte, error) {
+	switch q := req.(type) {
+	case *ClusterRequest:
+		return computeCluster(q)
+	case *NodeRequest:
+		return computeNode(q)
+	case *DecideRequest:
+		return computeDecide(q)
+	default:
+		return nil, fmt.Errorf("serve: unknown request type %T", req)
+	}
+}

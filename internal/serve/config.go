@@ -1,0 +1,131 @@
+// Package serve exposes the deterministic simulators over HTTP/JSON as a
+// long-running, cached, admission-controlled service (pure stdlib, like
+// the rest of the repository).
+//
+// Endpoints:
+//
+//	POST /v1/simulate/cluster  Figure 7/8-style batch run (policy, nodes,
+//	                           seed, workload params)
+//	POST /v1/simulate/node     single-node LDR/FCSR (§4.1)
+//	POST /v1/decide/linger     the §2 cost-model decision
+//	                           Tlingr = ((1-l)/(h-l))·Tmigr (fast path,
+//	                           computed inline, never queued)
+//	GET  /healthz              liveness (200 while the process is up)
+//	GET  /readyz               readiness (503 once draining)
+//	GET  /metrics              JSON dump of the obs registry
+//
+// The production-shaped core is the middle layer between decode and
+// simulate: requests are canonicalized (defaults applied, ranges checked)
+// and content-addressed by the SHA-256 of their canonical encoding; a
+// sharded LRU caches exact response bytes with singleflight-style
+// in-flight deduplication, so a thundering herd on one request costs one
+// simulation; a bounded admission queue feeds a worker pool sized by the
+// exp layer's rule, shedding load with 429 + Retry-After when full; every
+// computation runs under the exp runner's panic isolation and watchdog
+// deadline (PR-3 hardening). Because simulations are pure functions of
+// the canonical request, cached and fresh responses are byte-identical —
+// the same determinism contract DESIGN.md §8 states for -workers.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"lingerlonger/internal/obs"
+)
+
+// Config parameterizes a Server. Start from DefaultConfig; zero fields
+// keep their defaults when passed to New.
+type Config struct {
+	// MaxBodyBytes bounds a request body; larger bodies are rejected
+	// with 400 before any decoding work.
+	MaxBodyBytes int64
+
+	// Workers is the number of simulations executed concurrently;
+	// <= 0 selects GOMAXPROCS via exp.Workers, the repository's pool
+	// sizing rule.
+	Workers int
+
+	// QueueDepth is the number of admitted requests that may wait for a
+	// worker beyond those executing. A request arriving with the queue
+	// full is shed with 429 + Retry-After.
+	QueueDepth int
+
+	// CacheEntries bounds the result cache (total across shards);
+	// the least-recently-used entry is evicted at capacity.
+	CacheEntries int
+
+	// CacheShards is the number of independently-locked cache shards.
+	CacheShards int
+
+	// RequestTimeout bounds one request end to end: the wait for a
+	// worker slot counts against it, and the simulation itself runs
+	// under an exp watchdog of the remaining budget.
+	RequestTimeout time.Duration
+
+	// RetryAfter is the Retry-After hint (seconds) on shed responses.
+	RetryAfter int
+
+	// Rec receives the serve.* metrics; nil disables them (handlers
+	// then pay one nil-check per site, like every other layer).
+	Rec *obs.Recorder
+}
+
+// DefaultConfig returns the service defaults: 1 MiB bodies, GOMAXPROCS
+// workers, a 64-deep wait queue, 1024 cached results over 8 shards, a
+// 30-second request budget and a 1-second retry hint.
+func DefaultConfig() Config {
+	return Config{
+		MaxBodyBytes:   1 << 20,
+		Workers:        0,
+		QueueDepth:     64,
+		CacheEntries:   1024,
+		CacheShards:    8,
+		RequestTimeout: 30 * time.Second,
+		RetryAfter:     1,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = d.CacheEntries
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = d.CacheShards
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = d.RetryAfter
+	}
+	return c
+}
+
+// Validate checks the configuration after defaulting.
+func (c Config) Validate() error {
+	if c.MaxBodyBytes < 0 {
+		return fmt.Errorf("serve: MaxBodyBytes must be non-negative, got %d", c.MaxBodyBytes)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("serve: QueueDepth must be non-negative, got %d", c.QueueDepth)
+	}
+	if c.CacheEntries < 0 {
+		return fmt.Errorf("serve: CacheEntries must be non-negative, got %d", c.CacheEntries)
+	}
+	if c.CacheShards < 1 {
+		return fmt.Errorf("serve: CacheShards must be positive, got %d", c.CacheShards)
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("serve: RequestTimeout must be non-negative, got %s", c.RequestTimeout)
+	}
+	return nil
+}

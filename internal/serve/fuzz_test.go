@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest asserts the decoder's safety properties on arbitrary
+// bytes, for all three endpoints (mirroring the trace parser's FuzzRead
+// contract): it never panics, every rejection wraps ErrBadRequest (the
+// HTTP layer's 400), and every accepted request is fully normalized —
+// re-normalizing is a no-op and the canonical cache key is stable, so a
+// decoded request can never smuggle an out-of-range parameter into a
+// simulator (whose own guards panic).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"policy": "LL", "nodes": 8, "seed": 3}`))
+	f.Add([]byte(`{"utilization": 0.5, "duration": 100}`))
+	f.Add([]byte(`{"sourceUtil": 0.8, "destUtil": 0.1, "episodeAge": 40}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"policy": "ZZ"}`))
+	f.Add([]byte(`{"nodes": -1}`))
+	f.Add([]byte(`{"nodes": 1e308}`))
+	f.Add([]byte(`{"utilization": "NaN"}`))
+	f.Add([]byte(`{"seed": 9223372036854775807}`))
+	f.Add([]byte(`{"policy": "LL"} trailing`))
+	f.Add([]byte(`{"unknown": true}`))
+	f.Add([]byte(strings.Repeat(`{"policy":"LL",`, 100)))
+
+	const maxBytes = 1 << 16
+	endpoints := []string{EndpointCluster, EndpointNode, EndpointDecide}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, ep := range endpoints {
+			req, err := DecodeRequest(ep, data, maxBytes)
+			if err != nil {
+				if !errors.Is(err, ErrBadRequest) {
+					t.Fatalf("%s: rejection does not wrap ErrBadRequest: %v", ep, err)
+				}
+				continue
+			}
+			// Accepted: normalization must be idempotent and the
+			// canonical key stable (the cache-correctness property).
+			key1 := CacheKey(ep, req)
+			switch q := req.(type) {
+			case *ClusterRequest:
+				if nerr := q.normalize(); nerr != nil {
+					t.Fatalf("%s: accepted request fails re-normalization: %v", ep, nerr)
+				}
+			case *NodeRequest:
+				if nerr := q.normalize(); nerr != nil {
+					t.Fatalf("%s: accepted request fails re-normalization: %v", ep, nerr)
+				}
+			case *DecideRequest:
+				if nerr := q.normalize(); nerr != nil {
+					t.Fatalf("%s: accepted request fails re-normalization: %v", ep, nerr)
+				}
+			default:
+				t.Fatalf("%s: unexpected request type %T", ep, req)
+			}
+			if key2 := CacheKey(ep, req); key1 != key2 {
+				t.Fatalf("%s: canonical key unstable: %q vs %q", ep, key1, key2)
+			}
+		}
+	})
+}
+
+// TestDecodeOversizedBody pins the size guard the fuzz target exercises
+// with a fixed case: one byte over the limit is a 400-class rejection.
+func TestDecodeOversizedBody(t *testing.T) {
+	body := []byte(`{"policy": "LL"` + strings.Repeat(" ", 100) + `}`)
+	if _, err := DecodeRequest(EndpointCluster, body, int64(len(body))); err != nil {
+		t.Fatalf("body at the limit rejected: %v", err)
+	}
+	_, err := DecodeRequest(EndpointCluster, body, int64(len(body))-1)
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("body over the limit: err = %v, want ErrBadRequest", err)
+	}
+}

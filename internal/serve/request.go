@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"lingerlonger/internal/core"
+)
+
+// Endpoint labels for metrics and cache keys.
+const (
+	EndpointCluster = "cluster"
+	EndpointNode    = "node"
+	EndpointDecide  = "decide"
+)
+
+// ErrBadRequest marks a request the decoder rejected: malformed JSON,
+// unknown fields, out-of-range parameters, or an oversized body. The
+// HTTP layer answers 400 for anything wrapping it.
+var ErrBadRequest = errors.New("bad request")
+
+// badf builds an error wrapping ErrBadRequest.
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadRequest}, args...)...)
+}
+
+// ClusterRequest asks for one Figure 7/8-style batch run of the
+// sequential-job cluster simulator. Zero fields take the documented
+// defaults during normalization, so two requests that spell the same
+// simulation differently share one cache entry.
+type ClusterRequest struct {
+	Policy   string `json:"policy"`             // LL | LF | IE | PM (default LL)
+	Workload int    `json:"workload,omitempty"` // 1 (128x600s) or 2 (16x1800s); default 1
+	Nodes    int    `json:"nodes,omitempty"`    // cluster size; default 64
+	Seed     int64  `json:"seed,omitempty"`     // simulation + corpus seed; default 1
+
+	// Optional workload overrides (0 keeps the workload's value).
+	NumJobs int     `json:"numJobs,omitempty"`
+	JobCPU  float64 `json:"jobCPU,omitempty"`  // CPU seconds per job
+	JobMB   float64 `json:"jobMB,omitempty"`   // process image, MB
+	MaxTime float64 `json:"maxTime,omitempty"` // simulation horizon, seconds
+
+	// Trace corpus shape (the paper: 16 machines, 2 days).
+	TraceMachines int `json:"traceMachines,omitempty"`
+	TraceDays     int `json:"traceDays,omitempty"`
+
+	// ThroughputDur, when positive, additionally runs the steady-state
+	// throughput experiment for that many simulated seconds.
+	ThroughputDur float64 `json:"throughputDur,omitempty"`
+}
+
+// normalize applies defaults and validates ranges.
+func (q *ClusterRequest) normalize() error {
+	if q.Policy == "" {
+		q.Policy = core.LingerLonger.String()
+	}
+	if _, err := core.ParsePolicy(q.Policy); err != nil {
+		return badf("%v", err)
+	}
+	if q.Workload == 0 {
+		q.Workload = 1
+	}
+	if q.Workload != 1 && q.Workload != 2 {
+		return badf("workload must be 1 or 2, got %d", q.Workload)
+	}
+	if q.Nodes == 0 {
+		q.Nodes = 64
+	}
+	if q.Nodes < 1 || q.Nodes > 1024 {
+		return badf("nodes must be in [1, 1024], got %d", q.Nodes)
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	if q.NumJobs < 0 || q.NumJobs > 16384 {
+		return badf("numJobs must be in [0, 16384], got %d", q.NumJobs)
+	}
+	if q.JobCPU < 0 || q.JobCPU > 1e7 {
+		return badf("jobCPU must be in [0, 1e7] seconds, got %g", q.JobCPU)
+	}
+	if q.JobMB < 0 || q.JobMB > 1024 {
+		return badf("jobMB must be in [0, 1024], got %g", q.JobMB)
+	}
+	if q.MaxTime < 0 || q.MaxTime > 1e9 {
+		return badf("maxTime must be in [0, 1e9] seconds, got %g", q.MaxTime)
+	}
+	if q.TraceMachines == 0 {
+		q.TraceMachines = 16
+	}
+	if q.TraceMachines < 1 || q.TraceMachines > 256 {
+		return badf("traceMachines must be in [1, 256], got %d", q.TraceMachines)
+	}
+	if q.TraceDays == 0 {
+		q.TraceDays = 2
+	}
+	if q.TraceDays < 1 || q.TraceDays > 14 {
+		return badf("traceDays must be in [1, 14], got %d", q.TraceDays)
+	}
+	if q.ThroughputDur < 0 || q.ThroughputDur > 7*86400 {
+		return badf("throughputDur must be in [0, 604800] seconds, got %g", q.ThroughputDur)
+	}
+	return nil
+}
+
+// ClusterResponse reports the Figure 7 metrics and Figure 8 breakdown of
+// one batch run (plus the throughput experiment when requested).
+type ClusterResponse struct {
+	Policy               string             `json:"policy"`
+	Workload             int                `json:"workload"`
+	Nodes                int                `json:"nodes"`
+	Seed                 int64              `json:"seed"`
+	AvgCompletionSeconds float64            `json:"avgCompletionSeconds"`
+	Variation            float64            `json:"variation"`
+	FamilyTimeSeconds    float64            `json:"familyTimeSeconds"`
+	LocalDelay           float64            `json:"localDelay"`
+	Migrations           int                `json:"migrations"`
+	Evictions            int                `json:"evictions"`
+	Incomplete           int                `json:"incomplete"`
+	Breakdown            ClusterBreakdown   `json:"breakdown"`
+	Throughput           *ThroughputSummary `json:"throughput,omitempty"`
+}
+
+// ClusterBreakdown is the per-job average time in each scheduling state.
+type ClusterBreakdown struct {
+	Queued    float64 `json:"queued"`
+	Running   float64 `json:"running"`
+	Lingering float64 `json:"lingering"`
+	Paused    float64 `json:"paused"`
+	Migrating float64 `json:"migrating"`
+}
+
+// ThroughputSummary reports the steady-state throughput experiment.
+type ThroughputSummary struct {
+	CPUSecondsPerSecond float64 `json:"cpuSecondsPerSecond"`
+	LocalDelay          float64 `json:"localDelay"`
+	Completed           int     `json:"completed"`
+	Migrations          int     `json:"migrations"`
+}
+
+// NodeRequest asks for one single-node run (§4.1): a compute-bound
+// foreign job lingering on a node at a fixed local utilization.
+type NodeRequest struct {
+	Utilization     float64 `json:"utilization"`               // local CPU utilization in [0, 0.95]
+	ContextSwitchUS float64 `json:"contextSwitchUS,omitempty"` // effective context switch, µs; default 100
+	Duration        float64 `json:"duration,omitempty"`        // simulated seconds; default 2000
+	Seed            int64   `json:"seed,omitempty"`            // default 1
+}
+
+func (q *NodeRequest) normalize() error {
+	if q.Utilization < 0 || q.Utilization > 0.95 {
+		return badf("utilization must be in [0, 0.95], got %g", q.Utilization)
+	}
+	if q.ContextSwitchUS == 0 {
+		q.ContextSwitchUS = 100
+	}
+	if q.ContextSwitchUS < 0 || q.ContextSwitchUS > 1e5 {
+		return badf("contextSwitchUS must be in [0, 1e5], got %g", q.ContextSwitchUS)
+	}
+	if q.Duration == 0 {
+		q.Duration = 2000
+	}
+	if q.Duration < 1 || q.Duration > 1e6 {
+		return badf("duration must be in [1, 1e6] seconds, got %g", q.Duration)
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	return nil
+}
+
+// NodeResponse reports the Figure 5 per-point metrics.
+type NodeResponse struct {
+	Utilization       float64 `json:"utilization"`
+	ContextSwitchUS   float64 `json:"contextSwitchUS"`
+	Seed              int64   `json:"seed"`
+	LDR               float64 `json:"ldr"`  // local job delay ratio
+	FCSR              float64 `json:"fcsr"` // fine-grain cycle stealing ratio
+	Preemptions       int64   `json:"preemptions"`
+	ForeignCPUSeconds float64 `json:"foreignCPUSeconds"`
+}
+
+// DecideRequest asks for the §2 linger/migrate decision for a foreign
+// job on a non-idle node: the break-even linger duration
+// Tlingr = ((1-l)/(h-l))·Tmigr, evaluated against the episode age with
+// the 2x-age predictor.
+type DecideRequest struct {
+	SourceUtil float64 `json:"sourceUtil"`           // h: utilization of the occupied node, [0, 1]
+	DestUtil   float64 `json:"destUtil"`             // l: utilization of the best candidate, [0, 1]
+	JobMB      float64 `json:"jobMB,omitempty"`      // process image, MB; default 8
+	EpisodeAge float64 `json:"episodeAge,omitempty"` // seconds the episode has lasted
+
+	// Migration cost model; zero fields take the paper's defaults
+	// (0.5 s per endpoint, 3 Mbps effective).
+	BandwidthMbps    float64 `json:"bandwidthMbps,omitempty"`
+	SourceProcessing float64 `json:"sourceProcessing,omitempty"`
+	DestProcessing   float64 `json:"destProcessing,omitempty"`
+}
+
+func (q *DecideRequest) normalize() error {
+	if q.SourceUtil < 0 || q.SourceUtil > 1 {
+		return badf("sourceUtil must be in [0, 1], got %g", q.SourceUtil)
+	}
+	if q.DestUtil < 0 || q.DestUtil > 1 {
+		return badf("destUtil must be in [0, 1], got %g", q.DestUtil)
+	}
+	if q.JobMB == 0 {
+		q.JobMB = 8
+	}
+	if q.JobMB < 0 || q.JobMB > 1024 {
+		return badf("jobMB must be in [0, 1024], got %g", q.JobMB)
+	}
+	if q.EpisodeAge < 0 || q.EpisodeAge > 1e9 {
+		return badf("episodeAge must be in [0, 1e9] seconds, got %g", q.EpisodeAge)
+	}
+	d := core.DefaultMigrationCost()
+	if q.BandwidthMbps == 0 {
+		q.BandwidthMbps = d.BandwidthMbps
+	}
+	if q.BandwidthMbps <= 0 || q.BandwidthMbps > 1e5 {
+		return badf("bandwidthMbps must be in (0, 1e5], got %g", q.BandwidthMbps)
+	}
+	if q.SourceProcessing == 0 {
+		q.SourceProcessing = d.SourceProcessing
+	}
+	if q.SourceProcessing < 0 || q.SourceProcessing > 3600 {
+		return badf("sourceProcessing must be in [0, 3600] seconds, got %g", q.SourceProcessing)
+	}
+	if q.DestProcessing == 0 {
+		q.DestProcessing = d.DestProcessing
+	}
+	if q.DestProcessing < 0 || q.DestProcessing > 3600 {
+		return badf("destProcessing must be in [0, 3600] seconds, got %g", q.DestProcessing)
+	}
+	return nil
+}
+
+// DecideResponse is the cost-model answer. LingerSeconds is omitted when
+// migration can never pay off (h <= l, Tlingr = +Inf — JSON has no Inf),
+// in which case NeverBeneficial is true and Migrate is false.
+type DecideResponse struct {
+	MigrationSeconds float64  `json:"migrationSeconds"`
+	LingerSeconds    *float64 `json:"lingerSeconds,omitempty"`
+	NeverBeneficial  bool     `json:"neverBeneficial"`
+	Migrate          bool     `json:"migrate"`
+}
+
+// decodeStrict parses data into v with the service's strict rules: the
+// body must fit maxBytes, be a single JSON object with no unknown fields,
+// and have no trailing content. Every failure wraps ErrBadRequest.
+func decodeStrict(data []byte, maxBytes int64, v any) error {
+	if maxBytes > 0 && int64(len(data)) > maxBytes {
+		return badf("body exceeds %d bytes", maxBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badf("%v", err)
+	}
+	if dec.More() {
+		return badf("trailing data after JSON object")
+	}
+	return nil
+}
+
+// DecodeRequest parses and normalizes the body of one simulation
+// endpoint. It returns the normalized request (a *ClusterRequest,
+// *NodeRequest or *DecideRequest) ready for CacheKey/compute, or an
+// error wrapping ErrBadRequest. It never panics, whatever the bytes.
+func DecodeRequest(endpoint string, body []byte, maxBytes int64) (any, error) {
+	switch endpoint {
+	case EndpointCluster:
+		var q ClusterRequest
+		if err := decodeStrict(body, maxBytes, &q); err != nil {
+			return nil, err
+		}
+		if err := q.normalize(); err != nil {
+			return nil, err
+		}
+		return &q, nil
+	case EndpointNode:
+		var q NodeRequest
+		if err := decodeStrict(body, maxBytes, &q); err != nil {
+			return nil, err
+		}
+		if err := q.normalize(); err != nil {
+			return nil, err
+		}
+		return &q, nil
+	case EndpointDecide:
+		var q DecideRequest
+		if err := decodeStrict(body, maxBytes, &q); err != nil {
+			return nil, err
+		}
+		if err := q.normalize(); err != nil {
+			return nil, err
+		}
+		return &q, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown endpoint %q", endpoint)
+	}
+}
+
+// CacheKey content-addresses a normalized request: the SHA-256 of the
+// endpoint plus the canonical JSON encoding (struct field order, defaults
+// applied), so any two spellings of the same simulation share one cache
+// entry and one in-flight computation.
+func CacheKey(endpoint string, normalized any) string {
+	data, err := json.Marshal(normalized)
+	if err != nil {
+		// Request types contain only finite scalars after normalization;
+		// a marshal failure is a build bug, not an input condition.
+		panic(fmt.Sprintf("serve: canonical encoding of %T failed: %v", normalized, err))
+	}
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write(data)
+	return endpoint + ":" + hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lingerlonger/internal/obs"
+)
+
+// fastCluster is a cluster request small enough for unit tests
+// (milliseconds cold). idx varies the seed so tests can mint distinct
+// requests at will.
+func fastCluster(idx int) *ClusterRequest {
+	return &ClusterRequest{
+		Policy:        "LL",
+		Nodes:         4,
+		NumJobs:       4,
+		JobCPU:        30,
+		TraceMachines: 2,
+		TraceDays:     1,
+		Seed:          int64(idx + 1),
+	}
+}
+
+func newTestServer(t *testing.T, mut func(*Config)) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Rec = obs.New(reg, nil)
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg
+}
+
+func post(t *testing.T, url string, req any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestEndpointsRespond(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+
+	resp, body := post(t, ts.URL+"/v1/simulate/cluster", fastCluster(0))
+	if resp.StatusCode != 200 {
+		t.Fatalf("cluster: %d %s", resp.StatusCode, body)
+	}
+	var cr ClusterResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatalf("cluster response: %v", err)
+	}
+	if cr.Policy != "LL" || cr.AvgCompletionSeconds <= 0 {
+		t.Errorf("cluster response implausible: %+v", cr)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/simulate/node", &NodeRequest{Utilization: 0.3, Duration: 100})
+	if resp.StatusCode != 200 {
+		t.Fatalf("node: %d %s", resp.StatusCode, body)
+	}
+	var nr NodeResponse
+	if err := json.Unmarshal(body, &nr); err != nil {
+		t.Fatalf("node response: %v", err)
+	}
+	if nr.FCSR <= 0 || nr.FCSR > 1 {
+		t.Errorf("node FCSR = %g, want (0, 1]", nr.FCSR)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/decide/linger", &DecideRequest{SourceUtil: 0.8, DestUtil: 0.1, EpisodeAge: 1000})
+	if resp.StatusCode != 200 {
+		t.Fatalf("decide: %d %s", resp.StatusCode, body)
+	}
+	var dr DecideResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatalf("decide response: %v", err)
+	}
+	if dr.LingerSeconds == nil || !dr.Migrate {
+		t.Errorf("decide: long episode toward an idle node should migrate: %+v", dr)
+	}
+
+	// h <= l: migration can never pay off; Tlingr is +Inf and omitted.
+	resp, body = post(t, ts.URL+"/v1/decide/linger", &DecideRequest{SourceUtil: 0.2, DestUtil: 0.9})
+	if resp.StatusCode != 200 {
+		t.Fatalf("decide (never): %d %s", resp.StatusCode, body)
+	}
+	dr = DecideResponse{}
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.NeverBeneficial || dr.LingerSeconds != nil || dr.Migrate {
+		t.Errorf("decide with h<=l: %+v, want neverBeneficial and no linger duration", dr)
+	}
+}
+
+// TestCachedEqualsFresh is the acceptance contract: a response served
+// from cache is byte-identical to the same request computed fresh. Fresh
+// comes from a second, independent server (cold cache); cached from
+// re-asking the first.
+func TestCachedEqualsFresh(t *testing.T) {
+	_, ts1, reg1 := newTestServer(t, nil)
+	_, ts2, _ := newTestServer(t, nil)
+
+	req := fastCluster(7)
+	_, cold := post(t, ts1.URL+"/v1/simulate/cluster", req)
+	_, warm := post(t, ts1.URL+"/v1/simulate/cluster", req)
+	_, other := post(t, ts2.URL+"/v1/simulate/cluster", req)
+
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("cached response differs from fresh:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if !bytes.Equal(cold, other) {
+		t.Errorf("independent server computed different bytes:\n1: %s\n2: %s", cold, other)
+	}
+	if hits := reg1.Counter(obs.ServeCacheHits).Value(); hits != 1 {
+		t.Errorf("server 1 cache hits = %d, want 1", hits)
+	}
+
+	// Spelling the same simulation differently (defaults elided vs
+	// explicit) must hit the same cache entry.
+	explicit := *req
+	explicit.Workload = 1
+	if _, warm2 := post(t, ts1.URL+"/v1/simulate/cluster", &explicit); !bytes.Equal(cold, warm2) {
+		t.Errorf("canonicalization failed: explicit-defaults spelling returned different bytes")
+	}
+	if hits := reg1.Counter(obs.ServeCacheHits).Value(); hits != 2 {
+		t.Errorf("server 1 cache hits = %d, want 2 (canonical key shared)", hits)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts, reg := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 4096 })
+	cases := []struct {
+		name string
+		url  string
+		body string
+	}{
+		{"malformed json", "/v1/simulate/cluster", `{"policy": `},
+		{"unknown field", "/v1/simulate/cluster", `{"policy": "LL", "bogus": 1}`},
+		{"bad policy", "/v1/simulate/cluster", `{"policy": "ZZ"}`},
+		{"out of range nodes", "/v1/simulate/cluster", `{"nodes": 99999}`},
+		{"negative duration", "/v1/simulate/node", `{"utilization": 0.5, "duration": -1}`},
+		{"util too high", "/v1/simulate/node", `{"utilization": 1.5}`},
+		{"decide util", "/v1/decide/linger", `{"sourceUtil": 2}`},
+		{"trailing garbage", "/v1/decide/linger", `{"sourceUtil": 0.5} extra`},
+		{"oversized body", "/v1/simulate/cluster", `{"policy": "LL", "seed": 1` + strings.Repeat(" ", 5000) + `}`},
+		{"array not object", "/v1/simulate/node", `[1,2,3]`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	if bad := reg.Counter(obs.ServeBadRequests).Value(); bad != int64(len(cases)) {
+		t.Errorf("bad_requests counter = %d, want %d", bad, len(cases))
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/simulate/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on a simulation endpoint: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestQueueOverflowSheds drives the admission path over HTTP: with one
+// worker held and a one-deep queue occupied, the next distinct request is
+// shed with 429 + Retry-After instead of growing a backlog.
+func TestQueueOverflowSheds(t *testing.T) {
+	var s *Server
+	hold := make(chan struct{})
+	running := make(chan struct{}, 8)
+	s, ts, reg := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+		c.RetryAfter = 7
+	})
+	s.testHookCompute = func(endpoint string) {
+		running <- struct{}{}
+		<-hold
+	}
+	defer close(hold)
+
+	// postAsync fires a request without touching t (these goroutines may
+	// outlive the assertions below; they drain when hold closes).
+	postAsync := func(u float64) {
+		data, _ := json.Marshal(&NodeRequest{Utilization: u, Duration: 50})
+		resp, err := http.Post(ts.URL+"/v1/simulate/node", "application/json", bytes.NewReader(data))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	// Request 1 occupies the worker (block inside compute).
+	go postAsync(0.1)
+	<-running
+
+	// Request 2 takes the one waiting ticket.
+	go postAsync(0.2)
+	for s.adm.Held() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request 3: distinct, queue full -> 429 + Retry-After.
+	resp, body := post(t, ts.URL+"/v1/simulate/node", &NodeRequest{Utilization: 0.3, Duration: 50})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d body %s, want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("Retry-After = %q, want \"7\"", ra)
+	}
+	if shed := reg.Counter(obs.ServeShed).Value(); shed != 1 {
+		t.Errorf("shed counter = %d, want 1", shed)
+	}
+}
+
+// TestPanicIsolation: a panicking simulation answers 500 and the server
+// keeps serving — the exp runner's recovery, reused per request.
+func TestPanicIsolation(t *testing.T) {
+	var s *Server
+	s, ts, _ := newTestServer(t, nil)
+	var tripped atomic.Bool
+	s.testHookCompute = func(endpoint string) {
+		if tripped.CompareAndSwap(false, true) {
+			panic("injected simulation panic")
+		}
+	}
+	resp, body := post(t, ts.URL+"/v1/simulate/node", &NodeRequest{Utilization: 0.4, Duration: 50})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking request: status %d body %s, want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "panic") {
+		t.Errorf("panic not surfaced in error body: %s", body)
+	}
+	resp, _ = post(t, ts.URL+"/v1/simulate/node", &NodeRequest{Utilization: 0.4, Duration: 50})
+	if resp.StatusCode != 200 {
+		t.Fatalf("server did not survive the panic: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthReadyMetrics(t *testing.T) {
+	s, ts, _ := newTestServer(t, nil)
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body
+	}
+
+	if resp, _ := get("/healthz"); resp.StatusCode != 200 {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != 200 {
+		t.Errorf("readyz before drain: %d", resp.StatusCode)
+	}
+
+	post(t, ts.URL+"/v1/decide/linger", &DecideRequest{SourceUtil: 0.5, DestUtil: 0.1})
+	resp, body := get("/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if err := obs.ValidateMetricsJSON(body); err != nil {
+		t.Errorf("metrics payload fails the -metrics schema: %v", err)
+	}
+	if !bytes.Contains(body, []byte(`"serve.requests{endpoint=decide}": 1`)) {
+		t.Errorf("metrics missing the decide request counter:\n%s", body)
+	}
+
+	// Draining flips readiness but not liveness.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != 200 {
+		t.Errorf("healthz while draining: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDrainCompletesInFlight runs the real Serve/Shutdown lifecycle: a
+// request is held in flight, Shutdown begins, and the request still
+// completes with 200 before the listener fully closes.
+func TestDrainCompletesInFlight(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Rec = obs.New(reg, nil)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	running := make(chan struct{}, 1)
+	s.testHookCompute = func(string) {
+		running <- struct{}{}
+		<-hold
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		data, _ := json.Marshal(&NodeRequest{Utilization: 0.25, Duration: 50})
+		resp, err := http.Post(base+"/v1/simulate/node", "application/json", bytes.NewReader(data))
+		if err != nil {
+			reqDone <- result{status: -1}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		reqDone <- result{status: resp.StatusCode, body: body}
+	}()
+	<-running // the request is in flight
+
+	shutDone := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		// Release the held request only after drain has begun, proving
+		// Shutdown waited for it rather than racing it.
+		for !s.Draining() {
+			time.Sleep(time.Millisecond)
+		}
+		once.Do(func() { close(hold) })
+	}()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- s.Shutdown(ctx)
+	}()
+
+	res := <-reqDone
+	if res.status != 200 {
+		t.Fatalf("in-flight request during drain: status %d body %s, want 200", res.status, res.body)
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown did not drain cleanly: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	once.Do(func() { close(hold) })
+}

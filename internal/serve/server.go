@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"lingerlonger/internal/exp"
+	"lingerlonger/internal/obs"
+)
+
+// Server is the simulation-as-a-service front end: decode → canonical
+// cache key → (cache | singleflight | admission queue → exp-hardened
+// simulation) → byte-identical response. Construct with New, expose with
+// Handler (tests) or run with Serve/Shutdown (production, graceful drain).
+type Server struct {
+	cfg      Config
+	cache    *cache
+	adm      *admission
+	runner   *exp.Runner // panic isolation + watchdog for every simulation
+	mux      *http.ServeMux
+	registry *obs.Registry // /metrics source; may be nil
+	draining atomic.Bool
+	http     *http.Server
+
+	// Pre-resolved metric handles (nil-safe when cfg.Rec is nil).
+	cBad  *obs.Counter
+	cShed *obs.Counter
+
+	// testHookCompute, when set, runs at the start of every simulation
+	// computation (after admission, before the simulator). Tests use it
+	// to hold requests in flight; it is never set in production.
+	testHookCompute func(endpoint string)
+}
+
+// New validates cfg (after defaulting) and builds a Server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := exp.Workers(cfg.Workers)
+	s := &Server{
+		cfg:   cfg,
+		cache: newCache(cfg.CacheEntries, cfg.CacheShards, cfg.Rec),
+		adm:   newAdmission(workers, cfg.QueueDepth, cfg.Rec),
+		// One attempt, no checkpointing: a request retry is the client's
+		// call. The watchdog is the whole-request budget; the admission
+		// wait shares it via the request context.
+		runner: &exp.Runner{Workers: 1, Timeout: cfg.RequestTimeout},
+		mux:    http.NewServeMux(),
+		cBad:   cfg.Rec.Counter(obs.ServeBadRequests),
+		cShed:  cfg.Rec.Counter(obs.ServeShed),
+	}
+	if cfg.Rec != nil {
+		s.registry = cfg.Rec.Registry()
+	}
+	s.mux.HandleFunc("/v1/simulate/cluster", s.simulationHandler(EndpointCluster))
+	s.mux.HandleFunc("/v1/simulate/node", s.simulationHandler(EndpointNode))
+	s.mux.HandleFunc("/v1/decide/linger", s.simulationHandler(EndpointDecide))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (httptest-friendly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It mirrors
+// http.Server.Serve: the returned error is http.ErrServerClosed after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.http = &http.Server{Handler: s.mux}
+	return s.http.Serve(ln)
+}
+
+// Shutdown drains the server: readiness flips to 503 immediately (so load
+// balancers stop sending), no new connections are accepted, and in-flight
+// requests run to completion until ctx expires. It is the SIGTERM path of
+// cmd/llserve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errorBody is the JSON shape of every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes body (already exact response bytes) with status.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError renders a JSON error payload.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	body, err := marshalBody(&errorBody{Error: msg})
+	if err != nil {
+		body = []byte(`{"error":"internal"}` + "\n")
+	}
+	writeJSON(w, status, body)
+}
+
+// simulationHandler builds the POST handler for one endpoint. All three
+// simulation endpoints share the same spine; they differ only in decode
+// and compute, both dispatched on the endpoint name.
+func (s *Server) simulationHandler(endpoint string) http.HandlerFunc {
+	rec := s.cfg.Rec
+	cReq := rec.Counter(obs.Labeled(obs.ServeRequests, "endpoint", endpoint))
+	hLat := rec.Histogram(obs.Labeled(obs.ServeRequestSeconds, "endpoint", endpoint))
+
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		start := time.Now()
+		defer func() { hLat.Observe(time.Since(start).Seconds()) }()
+
+		// +1 so a body at exactly the limit is readable and one past it
+		// is distinguishable; DecodeRequest re-checks the exact bound.
+		body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+			s.cBad.Inc()
+			return
+		}
+		req, err := DecodeRequest(endpoint, body, s.cfg.MaxBodyBytes)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			s.cBad.Inc()
+			return
+		}
+		cReq.Inc()
+
+		resp, _, err := s.respond(r.Context(), endpoint, req)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, resp)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, "admission queue full")
+			s.cShed.Inc()
+		case errors.Is(err, exp.ErrPointTimeout), errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write.
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+		default:
+			// Includes recovered simulation panics (*exp.PanicError): the
+			// request fails, the worker and the process survive.
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	}
+}
+
+// respond produces the response bytes for one decoded request: decide
+// inline (it is a handful of float ops), the simulations through the
+// cache, the singleflight layer and the admission queue, with the actual
+// run wrapped in the exp runner for panic isolation and the watchdog
+// deadline.
+func (s *Server) respond(ctx context.Context, endpoint string, req any) ([]byte, bool, error) {
+	if endpoint == EndpointDecide {
+		if s.testHookCompute != nil {
+			s.testHookCompute(endpoint)
+		}
+		body, err := compute(req)
+		return body, false, err
+	}
+	key := CacheKey(endpoint, req)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	return s.cache.Do(key, func() ([]byte, error) {
+		return s.adm.Run(ctx, func() ([]byte, error) {
+			out, err := exp.RunSweep(s.runner, "", 1, func(int) ([]byte, error) {
+				if s.testHookCompute != nil {
+					s.testHookCompute(endpoint)
+				}
+				return compute(req)
+			})
+			if err != nil {
+				return nil, err
+			}
+			return out[0], nil
+		})
+	})
+}
+
+// handleHealthz is liveness: 200 while the process can answer at all.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, []byte(`{"status":"ok"}`+"\n"))
+}
+
+// handleReadyz is readiness: 200 while accepting work, 503 once draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, []byte(`{"status":"ready"}`+"\n"))
+}
+
+// handleMetrics dumps the obs registry in the -metrics JSON schema
+// (cmd/obscheck validates it). Without a recorder there is nothing to
+// report and the endpoint says so.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.registry == nil {
+		writeError(w, http.StatusNotFound, "metrics disabled (no registry attached)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.registry.WriteJSON(w); err != nil {
+		// Headers are gone; all we can do is note it.
+		fmt.Fprintln(w, `{"error":"metrics export failed"}`)
+	}
+}
