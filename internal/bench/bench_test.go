@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// valid returns a snapshot that passes Validate; tests mutate one field at
+// a time to probe the strictness.
+func valid() *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SchemaVersion,
+		ID:            6,
+		Seed:          1,
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		Engine: EngineSuite{
+			NsPerEvent: 15.5, EventsPerSec: 64.5e6, BytesPerOp: 0, AllocsPerOp: 0,
+			HeapNsPerEvent: 54.3, HeapAllocsPerOp: 1, SpeedupVsHeap: 3.5,
+		},
+		Cluster: ClusterSuite{
+			Nodes: 64, Jobs: 128, Policy: "LL",
+			MeanCompletionS: 2500, P95CompletionS: 4100,
+			WallSeconds: 1.8, JobsPerSec: 71,
+		},
+		Serve: ServeSuite{
+			Requests: 400, Concurrency: 4, Mix: "decide=1,node=1,cluster=1",
+			Cold:         ServePhase{ReqPerSec: 900, MeanLatencyS: 0.004, P95LatencyS: 0.02, Digest: "sha256:ab"},
+			Warm:         ServePhase{ReqPerSec: 8000, MeanLatencyS: 0.0004, P95LatencyS: 0.001, Digest: "sha256:ab"},
+			DigestsMatch: true,
+		},
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Snapshot)
+	}{
+		{"wrong schema", func(s *Snapshot) { s.SchemaVersion = 99 }},
+		{"zero id", func(s *Snapshot) { s.ID = 0 }},
+		{"missing go version", func(s *Snapshot) { s.GoVersion = "" }},
+		{"zero events/s", func(s *Snapshot) { s.Engine.EventsPerSec = 0 }},
+		{"negative allocs", func(s *Snapshot) { s.Engine.AllocsPerOp = -1 }},
+		{"zero heap baseline", func(s *Snapshot) { s.Engine.HeapNsPerEvent = 0 }},
+		{"zero nodes", func(s *Snapshot) { s.Cluster.Nodes = 0 }},
+		{"no policy", func(s *Snapshot) { s.Cluster.Policy = "" }},
+		{"zero cluster wall", func(s *Snapshot) { s.Cluster.WallSeconds = 0 }},
+		{"zero serve req/s", func(s *Snapshot) { s.Serve.Cold.ReqPerSec = 0 }},
+		{"serve errors", func(s *Snapshot) { s.Serve.Warm.Errors = 3 }},
+		{"bad digest prefix", func(s *Snapshot) { s.Serve.Cold.Digest = "md5:zz" }},
+		{"digests differ", func(s *Snapshot) { s.Serve.Warm.Digest = "sha256:other" }},
+		{"digests not checked", func(s *Snapshot) { s.Serve.DigestsMatch = false }},
+	}
+	for _, c := range cases {
+		s := valid()
+		c.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad snapshot", c.name)
+		}
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := valid()
+
+	if bad := Compare(base, valid()); len(bad) != 0 {
+		t.Fatalf("identical snapshots flagged: %v", bad)
+	}
+
+	// 10% slower: within tolerance.
+	cur := valid()
+	cur.Engine.EventsPerSec = base.Engine.EventsPerSec * 0.90
+	if bad := Compare(base, cur); len(bad) != 0 {
+		t.Fatalf("10%% slowdown flagged: %v", bad)
+	}
+
+	// 20% slower: gated.
+	cur = valid()
+	cur.Engine.EventsPerSec = base.Engine.EventsPerSec * 0.80
+	if bad := Compare(base, cur); len(bad) != 1 || !strings.Contains(bad[0], "eventsPerSec") {
+		t.Fatalf("20%% slowdown not flagged correctly: %v", bad)
+	}
+
+	// Zero-alloc baseline: going to 2 allocs/op is a regression, but
+	// measurement jitter below half an alloc is not.
+	cur = valid()
+	cur.Engine.AllocsPerOp = 2
+	if bad := Compare(base, cur); len(bad) != 1 || !strings.Contains(bad[0], "allocsPerOp") {
+		t.Fatalf("0 -> 2 allocs/op not flagged correctly: %v", bad)
+	}
+	cur = valid()
+	cur.Engine.AllocsPerOp = 0.3
+	if bad := Compare(base, cur); len(bad) != 0 {
+		t.Fatalf("sub-half-alloc jitter flagged: %v", bad)
+	}
+}
+
+func TestFilenameRoundtrip(t *testing.T) {
+	if got := Filename(6); got != "BENCH_006.json" {
+		t.Fatalf("Filename(6) = %q", got)
+	}
+	id, ok := ParseID("BENCH_006.json")
+	if !ok || id != 6 {
+		t.Fatalf("ParseID(BENCH_006.json) = %d, %t", id, ok)
+	}
+	if id, ok := ParseID("/some/dir/BENCH_012.json"); !ok || id != 12 {
+		t.Fatalf("ParseID with dir = %d, %t", id, ok)
+	}
+	for _, bad := range []string{"BENCH_.json", "BENCH_6.txt", "bench_006.json", "EXPERIMENTS.md", "BENCH_0.json"} {
+		if _, ok := ParseID(bad); ok {
+			t.Errorf("ParseID accepted %q", bad)
+		}
+	}
+}
+
+func TestSaveLoadLatestNextID(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, _, err := Latest(dir); !errors.Is(err, ErrNoSnapshots) {
+		t.Fatalf("Latest on empty dir: %v, want ErrNoSnapshots", err)
+	}
+	if id, err := NextID(dir); err != nil || id != 1 {
+		t.Fatalf("NextID on empty dir = %d, %v", id, err)
+	}
+
+	for _, id := range []int{2, 6, 4} {
+		s := valid()
+		s.ID = id
+		if err := s.Save(filepath.Join(dir, Filename(id))); err != nil {
+			t.Fatalf("Save(%d): %v", id, err)
+		}
+	}
+	s, path, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if s.ID != 6 || filepath.Base(path) != "BENCH_006.json" {
+		t.Fatalf("Latest picked id %d (%s), want 6", s.ID, path)
+	}
+	if id, err := NextID(dir); err != nil || id != 7 {
+		t.Fatalf("NextID = %d, %v, want 7", id, err)
+	}
+	if ids, err := IDs(dir); err != nil || len(ids) != 3 || ids[0] != 2 || ids[2] != 6 {
+		t.Fatalf("IDs = %v, %v", ids, err)
+	}
+}
+
+func TestLoadRejectsUnknownFieldsAndInvalid(t *testing.T) {
+	dir := t.TempDir()
+
+	// Unknown field: a typo'd hand edit must not load silently.
+	p := filepath.Join(dir, "BENCH_001.json")
+	if err := os.WriteFile(p, []byte(`{"schemaVersion":1,"idd":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(p); err == nil {
+		t.Fatal("Load accepted a snapshot with an unknown field")
+	}
+
+	// Structurally valid JSON that fails Validate.
+	bad := valid()
+	bad.Engine.EventsPerSec = 0
+	if err := bad.Save(p); err == nil {
+		t.Fatal("Save accepted an invalid snapshot")
+	}
+}
+
+func TestMarkdownMentionsHeadlines(t *testing.T) {
+	md := valid().Markdown()
+	for _, want := range []string{"3.50x", "BENCH_006.json", "64 nodes x 128 jobs", "req/s"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -58,6 +58,7 @@ type MismatchError struct {
 	Got  Meta // what the directory holds
 }
 
+// Error describes both sides of the mismatch.
 func (e *MismatchError) Error() string {
 	return fmt.Sprintf("checkpoint: %s holds a different run (have schema=%d seed=%d config=%q, resuming run is schema=%d seed=%d config=%q)",
 		e.Dir, e.Got.Schema, e.Got.Seed, e.Got.Config, e.Want.Schema, e.Want.Seed, e.Want.Config)

@@ -35,6 +35,7 @@ const (
 // UsageError marks a command-line usage mistake; Run exits 2 for it.
 type UsageError struct{ msg string }
 
+// Error returns the usage message.
 func (e *UsageError) Error() string { return e.msg }
 
 // Usagef builds a *UsageError like fmt.Errorf.

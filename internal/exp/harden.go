@@ -46,6 +46,7 @@ type PanicError struct {
 	Stack []byte // debug.Stack() captured at recovery
 }
 
+// Error reports the panic value; the stack is in Stack.
 func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
 
 // ErrPointTimeout marks a point attempt abandoned by the watchdog.
@@ -62,6 +63,7 @@ type PointError struct {
 	Err      error
 }
 
+// Error identifies the sweep, point and final attempt's failure.
 func (e *PointError) Error() string {
 	suffix := ""
 	if e.Attempts > 1 {
@@ -73,6 +75,7 @@ func (e *PointError) Error() string {
 	return fmt.Sprintf("exp: sweep %s point %d: %v%s", e.Sweep, e.Index, e.Err, suffix)
 }
 
+// Unwrap exposes the last attempt's error to errors.Is/As.
 func (e *PointError) Unwrap() error { return e.Err }
 
 // Stats counts what a Runner did across all of its sweeps.

@@ -1,0 +1,93 @@
+package memory
+
+import "fmt"
+
+// Slab is a chunked free-list allocator for fixed-type objects on hot
+// paths that create and destroy many short-lived values of one type — the
+// discrete-event engine's event records being the motivating case
+// (DESIGN.md §13). Objects are carved out of large chunks so the garbage
+// collector sees a handful of long-lived slices instead of millions of
+// individual allocations, and released objects are recycled through a
+// free list in LIFO order, which keeps the working set cache-hot.
+//
+// A Slab is single-owner state, exactly like the simulators that embed
+// it: methods are not safe for concurrent use.
+//
+// Recycled objects are returned by Get with their previous contents
+// intact — the Slab never zeroes memory. Callers that need a clean
+// object must reinitialize every field; callers that exploit surviving
+// fields (the engine's handle-generation counter) rely on exactly this
+// contract, so it is part of the API, not an accident.
+type Slab[T any] struct {
+	chunkSize int
+	chunks    [][]T
+	next      int  // index of the first unused slot in the newest chunk
+	free      []*T // released objects, reused LIFO
+
+	liveCount int
+	recycled  uint64
+}
+
+// DefaultSlabChunk is the per-chunk object count used when NewSlab is
+// given a non-positive size. 256 events of ~64 bytes keeps chunks around
+// 16 KB — large enough to amortize allocation, small enough not to
+// strand memory on tiny simulations.
+const DefaultSlabChunk = 256
+
+// NewSlab returns an empty slab that allocates storage in chunks of
+// chunkSize objects; chunkSize <= 0 selects DefaultSlabChunk.
+func NewSlab[T any](chunkSize int) *Slab[T] {
+	if chunkSize <= 0 {
+		chunkSize = DefaultSlabChunk
+	}
+	return &Slab[T]{chunkSize: chunkSize}
+}
+
+// Get returns an object, reusing a released one when available and
+// carving a fresh slot from the current chunk otherwise. Reused objects
+// keep their previous contents (see the type comment).
+func (s *Slab[T]) Get() *T {
+	s.liveCount++
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.recycled++
+		return p
+	}
+	if len(s.chunks) == 0 || s.next == s.chunkSize {
+		s.chunks = append(s.chunks, make([]T, s.chunkSize))
+		s.next = 0
+	}
+	chunk := s.chunks[len(s.chunks)-1]
+	p := &chunk[s.next]
+	s.next++
+	return p
+}
+
+// Put releases p for reuse by a later Get. The object must have come from
+// this slab's Get and must not be used, or Put again, until Get hands it
+// back out; a double Put would alias two live objects and is the one
+// corruption the slab cannot detect, so callers gate releases the same
+// way they would a manual free.
+func (s *Slab[T]) Put(p *T) {
+	if p == nil {
+		panic("memory: Slab.Put(nil)")
+	}
+	s.liveCount--
+	if s.liveCount < 0 {
+		panic(fmt.Sprintf("memory: Slab.Put with %d live objects (double Put?)", s.liveCount+1))
+	}
+	s.free = append(s.free, p)
+}
+
+// Live returns the number of objects currently handed out (Get minus Put).
+func (s *Slab[T]) Live() int { return s.liveCount }
+
+// Allocated returns the total number of object slots backed by real
+// memory across all chunks, whether live, free, or never used.
+func (s *Slab[T]) Allocated() int { return len(s.chunks) * s.chunkSize }
+
+// Recycled returns how many Get calls were satisfied from the free list
+// instead of fresh chunk memory — the allocations the slab avoided.
+func (s *Slab[T]) Recycled() uint64 { return s.recycled }

@@ -1,0 +1,101 @@
+package memory_test
+
+import (
+	"testing"
+
+	"lingerlonger/internal/memory"
+)
+
+type payload struct {
+	id  int
+	gen uint64
+}
+
+func TestSlabGetPutRecycles(t *testing.T) {
+	s := memory.NewSlab[payload](4)
+	a := s.Get()
+	a.id, a.gen = 7, 3
+	if s.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", s.Live())
+	}
+	s.Put(a)
+	if s.Live() != 0 {
+		t.Fatalf("Live after Put = %d, want 0", s.Live())
+	}
+	b := s.Get()
+	if b != a {
+		t.Fatal("free list did not recycle the released object")
+	}
+	if b.id != 7 || b.gen != 3 {
+		t.Fatalf("recycled object was zeroed: %+v (contents must survive)", *b)
+	}
+	if s.Recycled() != 1 {
+		t.Fatalf("Recycled = %d, want 1", s.Recycled())
+	}
+}
+
+func TestSlabDistinctSlotsAcrossChunks(t *testing.T) {
+	s := memory.NewSlab[payload](3)
+	seen := make(map[*payload]bool)
+	var all []*payload
+	for i := 0; i < 10; i++ {
+		p := s.Get()
+		if seen[p] {
+			t.Fatalf("slot %d handed out twice while live", i)
+		}
+		seen[p] = true
+		p.id = i
+		all = append(all, p)
+	}
+	if got := s.Allocated(); got != 12 { // ceil(10/3) chunks of 3... 4 chunks
+		t.Fatalf("Allocated = %d, want 12", got)
+	}
+	for i, p := range all {
+		if p.id != i {
+			t.Fatalf("slot %d overwritten: id = %d (chunk growth moved live objects?)", i, p.id)
+		}
+	}
+	for _, p := range all {
+		s.Put(p)
+	}
+	if s.Live() != 0 {
+		t.Fatalf("Live = %d after releasing everything", s.Live())
+	}
+	// Everything comes back from the free list now.
+	before := s.Allocated()
+	for i := 0; i < 10; i++ {
+		s.Get()
+	}
+	if s.Allocated() != before {
+		t.Fatalf("Allocated grew from %d to %d though the free list had capacity", before, s.Allocated())
+	}
+}
+
+func TestSlabPutPanics(t *testing.T) {
+	s := memory.NewSlab[payload](0)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Put(nil)", func() { s.Put(nil) })
+	p := s.Get()
+	s.Put(p)
+	mustPanic("unbalanced Put", func() { s.Put(p) })
+}
+
+// BenchmarkSlabGetPut pins the hot-path cost the event engine depends on:
+// a Get/Put pair must stay allocation-free once the first chunk exists.
+func BenchmarkSlabGetPut(b *testing.B) {
+	s := memory.NewSlab[payload](0)
+	s.Put(s.Get()) // warm the first chunk
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(s.Get())
+	}
+}

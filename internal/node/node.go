@@ -36,6 +36,15 @@ type Config struct {
 	// (register save plus cache-state reload).
 	ContextSwitch float64
 
+	// BurstLookahead, when positive, makes the node's burst stream
+	// prefetch that many bursts per batch (workload.Windowed.SetLookahead)
+	// so the ServeForeign loop amortizes sampling overhead. The burst
+	// values are identical to the unbatched stream, but a lookahead node
+	// must be consumed strictly linearly: Advance past the current burst
+	// panics, because the stream cannot seek. Only drivers that never
+	// detach the foreign job (the Figure 5 sweep, benchmarks) enable it.
+	BurstLookahead int
+
 	// Rec, when non-nil, receives the node.preemptions counter. Metrics
 	// are a side channel (never read back), so attaching a recorder
 	// cannot change results.
@@ -73,9 +82,13 @@ func New(cfg Config, table *workload.Table, src workload.UtilizationSource, rng 
 	if cfg.ContextSwitch < 0 {
 		panic(fmt.Sprintf("node: negative context-switch time %g", cfg.ContextSwitch))
 	}
+	stream := workload.NewWindowed(table, src, 0, rng)
+	if cfg.BurstLookahead > 0 {
+		stream.SetLookahead(cfg.BurstLookahead)
+	}
 	return &Node{
 		cfg:      cfg,
-		stream:   workload.NewWindowed(table, src, 0, rng),
+		stream:   stream,
 		preemptC: cfg.Rec.Counter(obs.NodePreemptions),
 	}
 }

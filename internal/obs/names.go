@@ -4,9 +4,9 @@ package obs
 type MetricKind string
 
 const (
-	KindCounter   MetricKind = "counter"
-	KindGauge     MetricKind = "gauge"
-	KindHistogram MetricKind = "histogram"
+	KindCounter   MetricKind = "counter"   // monotonically increasing count
+	KindGauge     MetricKind = "gauge"     // last-write-wins value
+	KindHistogram MetricKind = "histogram" // value distribution
 )
 
 // Def describes one catalogued metric. Help is the one-line meaning that

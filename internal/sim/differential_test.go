@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The differential suite drives the calendar-queue Engine and the
+// retained binary-heap HeapEngine through identical randomized operation
+// scripts and requires identical fire orders. This is the determinism
+// contract's enforcement: FIFO among simultaneous events, cancel
+// semantics, and time ordering must be properties of the API, not of the
+// queue layout. Scripts deliberately mix the calendar queue's hard cases:
+// simultaneous-event bursts (tie-breaks), random cancels (including the
+// current minimum), clustered and long-tail delays (bucket-width stress),
+// and enough churn to cross several resize thresholds in both directions.
+
+// engineAPI adapts Engine and HeapEngine to one surface for the
+// interpreter.
+type engineAPI interface {
+	schedule(at float64, f func()) (cancel func(), cancelled func() bool)
+	step() bool
+	now() float64
+	pending() int
+}
+
+type calAdapter struct{ e Engine }
+
+func (a *calAdapter) schedule(at float64, f func()) (func(), func() bool) {
+	h := a.e.Schedule(at, func(*Engine) { f() })
+	return func() { a.e.Cancel(h) }, h.Cancelled
+}
+func (a *calAdapter) step() bool   { return a.e.Step() }
+func (a *calAdapter) now() float64 { return a.e.Now() }
+func (a *calAdapter) pending() int { return a.e.Pending() }
+
+type heapAdapter struct{ e HeapEngine }
+
+func (a *heapAdapter) schedule(at float64, f func()) (func(), func() bool) {
+	h := a.e.Schedule(at, func(*HeapEngine) { f() })
+	return func() { a.e.Cancel(h) }, h.Cancelled
+}
+func (a *heapAdapter) step() bool   { return a.e.Step() }
+func (a *heapAdapter) now() float64 { return a.e.Now() }
+func (a *heapAdapter) pending() int { return a.e.Pending() }
+
+// trace is what a run records: the label and firing time of every event,
+// in order.
+type firing struct {
+	label int
+	at    float64
+}
+
+// interpret runs one seeded workload on eng. All randomness comes from a
+// rand.Rand seeded identically for both engines, and every decision is a
+// pure function of the draw sequence, so the two runs see the same
+// operation stream. Handlers schedule follow-ups and cancel pending
+// events, exercising in-handler mutation of the queue.
+func interpret(eng engineAPI, seed int64, initial, maxFired int) []firing {
+	rng := rand.New(rand.NewSource(seed))
+	var out []firing
+	nextLabel := 0
+	handles := make([]func(), 0, 64)    // cancel funcs by slot
+	alive := make([]func() bool, 0, 64) // cancelled probes by slot
+
+	delay := func() float64 {
+		switch r := rng.Float64(); {
+		case r < 0.25:
+			return 0 // simultaneous burst: tie-break stress
+		case r < 0.85:
+			return rng.Float64() * 3 // clustered
+		default:
+			return 50 + rng.Float64()*5000 // long tail: bucket stress
+		}
+	}
+
+	var schedule func(at float64)
+	schedule = func(at float64) {
+		label := nextLabel
+		nextLabel++
+		slot := len(handles)
+		cancel, cancelled := eng.schedule(at, func() {
+			out = append(out, firing{label: label, at: eng.now()})
+			// Fan out 0–3 follow-ups (supercritical, so the workload
+			// sustains itself) and sometimes cancel a random slot.
+			n := rng.Intn(4)
+			for i := 0; i < n; i++ {
+				schedule(eng.now() + delay())
+			}
+			if rng.Float64() < 0.2 && len(handles) > 0 {
+				victim := rng.Intn(len(handles))
+				if !alive[victim]() {
+					return
+				}
+				handles[victim]()
+			}
+		})
+		handles = append(handles, cancel)
+		alive = append(alive, cancelled)
+		_ = slot
+	}
+
+	start := rng.Float64() * 10
+	for i := 0; i < initial; i++ {
+		schedule(start + delay())
+	}
+	for len(out) < maxFired && eng.step() {
+	}
+	return out
+}
+
+func TestDifferentialCalendarVsHeap(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const initial, maxFired = 40, 4000
+			cal := interpret(&calAdapter{}, seed, initial, maxFired)
+			ref := interpret(&heapAdapter{}, seed, initial, maxFired)
+			if len(cal) != len(ref) {
+				t.Fatalf("calendar fired %d events, heap fired %d", len(cal), len(ref))
+			}
+			for i := range cal {
+				if cal[i] != ref[i] {
+					t.Fatalf("fire order diverges at event %d: calendar (label=%d, t=%g) vs heap (label=%d, t=%g)",
+						i, cal[i].label, cal[i].at, ref[i].label, ref[i].at)
+				}
+			}
+			if len(cal) < maxFired/4 {
+				t.Fatalf("workload too small to be meaningful: %d events", len(cal))
+			}
+		})
+	}
+}
+
+// TestDifferentialSimultaneousFlood pins the FIFO tie-break specifically:
+// thousands of events at identical times, scheduled across several
+// instants in random order, with random cancels — fire order must match
+// the heap exactly (i.e. schedule order within each instant).
+func TestDifferentialSimultaneousFlood(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		run := func(eng engineAPI) []firing {
+			rng := rand.New(rand.NewSource(seed))
+			var out []firing
+			cancels := make([]func(), 0, 2048)
+			for i := 0; i < 2048; i++ {
+				label := i
+				at := float64(rng.Intn(5)) // five distinct instants only
+				cancel, _ := eng.schedule(at, func() {
+					out = append(out, firing{label: label, at: eng.now()})
+				})
+				cancels = append(cancels, cancel)
+			}
+			for i := 0; i < 512; i++ {
+				cancels[rng.Intn(len(cancels))]()
+			}
+			for eng.step() {
+			}
+			return out
+		}
+		cal := run(&calAdapter{})
+		ref := run(&heapAdapter{})
+		if len(cal) != len(ref) {
+			t.Fatalf("seed %d: calendar fired %d, heap fired %d", seed, len(cal), len(ref))
+		}
+		for i := range cal {
+			if cal[i] != ref[i] {
+				t.Fatalf("seed %d: diverges at %d: %+v vs %+v", seed, i, cal[i], ref[i])
+			}
+		}
+	}
+}

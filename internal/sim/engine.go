@@ -1,18 +1,37 @@
 // Package sim provides a small deterministic discrete-event simulation
-// engine: a virtual clock and an event heap with stable FIFO ordering for
-// simultaneous events, plus cancellable event handles.
+// engine: a virtual clock and a calendar-queue scheduler with stable FIFO
+// ordering for simultaneous events, plus cancellable event handles.
 //
 // All simulators in this repository (single node, sequential cluster,
 // parallel jobs) are built on this engine. Time is measured in seconds as
 // float64; the engine imposes no unit, but every caller in this module uses
 // seconds.
+//
+// # Determinism contract
+//
+// The engine fires events in strictly non-decreasing time order, and
+// events scheduled for the same instant fire in the order they were
+// scheduled (FIFO, via a monotonic sequence number). Cancelling an event
+// removes it without disturbing the order of the others. The fire order is
+// therefore a pure function of the Schedule/Cancel call sequence —
+// independent of the queue's internal layout, bucket count, or resize
+// history — which is what makes every simulation in this repository
+// reproducible from a seed. The reference implementation HeapEngine pins
+// this contract; internal/sim's differential tests drive both schedulers
+// through randomized schedules and require identical fire orders.
+//
+// Internally the engine uses a calendar queue (Brown 1988) with lazily
+// sized buckets and a slab-pooled event arena (internal/memory), which
+// is why Step runs in amortized O(1) with zero allocations; DESIGN.md §13
+// documents the layout and the proof obligations.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
+	"lingerlonger/internal/memory"
 	"lingerlonger/internal/obs"
 )
 
@@ -20,20 +39,46 @@ import (
 // itself so handlers can schedule follow-up events.
 type Handler func(e *Engine)
 
-// Event is a scheduled callback. Events are created by Engine.Schedule and
-// may be cancelled before they fire.
-type Event struct {
+// event is the pooled internal record behind an Event handle. Records are
+// recycled through a memory.Slab; gen is bumped every time a record leaves
+// the queue (fire or cancel), which is what invalidates stale handles.
+type event struct {
 	time    float64
 	seq     uint64 // tie-break: FIFO among simultaneous events
-	index   int    // heap index, -1 when not queued
+	gen     uint64 // handle-validity generation; survives recycling
+	bucket  int32  // calendar bucket index; overflowBucket or notQueued
+	pos     int32  // position within the bucket slice
 	handler Handler
 }
 
-// Time returns the virtual time at which the event fires (or fired).
-func (ev *Event) Time() float64 { return ev.time }
+const (
+	notQueued      = -1 // bucket value while a record is outside the queue
+	overflowBucket = -2 // bucket value for the far-future overflow list
+	singleSlot     = -3 // bucket value for the one-pending-event register
+)
 
-// Cancelled reports whether the event has been cancelled or already fired.
-func (ev *Event) Cancelled() bool { return ev.index < 0 }
+// Event is a cancellable handle to a scheduled callback, returned by
+// Engine.Schedule and Engine.After. It is a small value: copy it freely.
+// The zero Event is a valid "no event" handle — Cancelled reports true and
+// Engine.Cancel ignores it — so callers can cancel defensively without
+// nil checks.
+//
+// Handles stay safe after their event fires: the engine recycles event
+// records through a pool, and each handle carries the generation it was
+// issued for, so cancelling a stale handle can never touch a recycled
+// record that now represents a different event.
+type Event struct {
+	ev  *event
+	gen uint64
+	at  float64
+}
+
+// Time returns the virtual time at which the event fires (or fired).
+func (h Event) Time() float64 { return h.at }
+
+// Cancelled reports whether the event has been cancelled or already fired
+// (or is the zero handle).
+func (h Event) Cancelled() bool { return h.ev == nil || h.ev.gen != h.gen }
 
 // BudgetError reports that an engine fired its event budget without the
 // simulation reaching its end condition — the typed surface of what would
@@ -44,20 +89,25 @@ type BudgetError struct {
 	Now    float64 // virtual time when the budget was exhausted
 }
 
+// Error returns the budget, the virtual time it ran out at, and the likely
+// diagnosis.
 func (e *BudgetError) Error() string {
 	return fmt.Sprintf("sim: event budget of %d exhausted at t=%g (runaway event loop?)", e.Budget, e.Now)
 }
 
 // Engine is a discrete-event simulator. The zero value is a ready-to-use
-// engine with the clock at 0 and no event budget.
+// engine with the clock at 0 and no event budget. Methods are not safe for
+// concurrent use; simulators that run in parallel each own an Engine.
 type Engine struct {
 	now    float64
 	seq    uint64
-	queue  eventQueue
 	fired  uint64
 	halted bool
 	budget uint64 // max events to fire; 0 = unlimited
 	err    error  // sticky *BudgetError once the budget is exhausted
+
+	q    calendar
+	pool *memory.Slab[event]
 
 	firedC *obs.Counter // pre-resolved sim.events.fired handle; nil = off
 }
@@ -95,12 +145,22 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.q.count }
+
+// PooledEvents returns the number of event records backed by real memory
+// in the engine's arena — queued, recycled, or never used. It exists for
+// benchmarks and capacity accounting; simulations never read it.
+func (e *Engine) PooledEvents() int {
+	if e.pool == nil {
+		return 0
+	}
+	return e.pool.Allocated()
+}
 
 // Schedule queues handler to run at absolute virtual time t and returns a
 // cancellable handle. Scheduling in the past (t < Now) panics: it always
 // indicates a simulator bug, and silently clamping would mask it.
-func (e *Engine) Schedule(t float64, handler Handler) *Event {
+func (e *Engine) Schedule(t float64, handler Handler) Event {
 	if handler == nil {
 		panic("sim: Schedule with nil handler")
 	}
@@ -110,26 +170,42 @@ func (e *Engine) Schedule(t float64, handler Handler) *Event {
 	if math.IsNaN(t) {
 		panic("sim: Schedule at NaN")
 	}
-	ev := &Event{time: t, seq: e.seq, handler: handler}
+	if e.pool == nil {
+		e.pool = memory.NewSlab[event](0)
+	}
+	ev := e.pool.Get()
+	ev.time = t
+	ev.seq = e.seq
+	ev.handler = handler
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.q.push(ev)
+	return Event{ev: ev, gen: ev.gen, at: t}
 }
 
 // After queues handler to run delay seconds from now. A negative delay
 // panics.
-func (e *Engine) After(delay float64, handler Handler) *Event {
+func (e *Engine) After(delay float64, handler Handler) Event {
 	return e.Schedule(e.now+delay, handler)
 }
 
-// Cancel removes ev from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op, so callers may cancel defensively.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes the event behind h from the queue. Cancelling an
+// already-fired or already-cancelled event (or the zero handle) is a
+// no-op, so callers may cancel defensively.
+func (e *Engine) Cancel(h Event) {
+	if h.ev == nil || h.ev.gen != h.gen {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.q.remove(h.ev)
+	e.release(h.ev)
+}
+
+// release invalidates every outstanding handle to ev and recycles the
+// record. The generation bump must happen before the record re-enters the
+// pool: it is what makes reuse safe.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	e.pool.Put(ev)
 }
 
 // Halt stops the current Run/RunUntil after the in-flight handler returns.
@@ -139,7 +215,8 @@ func (e *Engine) Halt() { e.halted = true }
 // event fired. With an exhausted event budget it fires nothing and
 // returns false; check Err to distinguish that from an empty queue.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev := e.q.findMin()
+	if ev == nil {
 		return false
 	}
 	if e.budget > 0 && e.fired >= e.budget {
@@ -148,12 +225,13 @@ func (e *Engine) Step() bool {
 		}
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	ev.index = -1
+	e.q.pop(ev)
 	e.now = ev.time
 	e.fired++
 	e.firedC.Inc()
-	ev.handler(e)
+	h := ev.handler
+	e.release(ev)
+	h(e)
 	return true
 }
 
@@ -171,7 +249,11 @@ func (e *Engine) RunUntil(end float64) {
 		panic(fmt.Sprintf("sim: RunUntil(%g) before now %g", end, e.now))
 	}
 	e.halted = false
-	for !e.halted && len(e.queue) > 0 && e.queue[0].time <= end {
+	for !e.halted {
+		next := e.q.findMin()
+		if next == nil || next.time > end {
+			break
+		}
 		if !e.Step() {
 			break // budget exhausted; e.Err() reports it
 		}
@@ -184,41 +266,259 @@ func (e *Engine) RunUntil(end float64) {
 // NextEventTime returns the firing time of the earliest queued event and
 // whether one exists.
 func (e *Engine) NextEventTime() (float64, bool) {
-	if len(e.queue) == 0 {
+	ev := e.q.findMin()
+	if ev == nil {
 		return 0, false
 	}
-	return e.queue[0].time, true
+	return ev.time, true
 }
 
-// eventQueue implements heap.Interface ordered by (time, seq).
-type eventQueue []*Event
+// calendar is the event queue: a calendar queue (Brown 1988) ordered by
+// (time, seq). Events whose virtual bucket index would overflow an int64
+// (including +Inf times) live in a separate overflow list; because the
+// overflow threshold is a fixed multiple of the bucket width, every
+// overflow event fires after every calendar event, so the two structures
+// never interleave (DESIGN.md §13 carries the argument).
+//
+// Correctness never depends on bucket placement: the year scan falls back
+// to a direct min search over every bucket when a full year turns up
+// nothing, and event selection is always by (time, seq) comparison, so a
+// badly tuned width can only cost speed, not order.
+type calendar struct {
+	buckets  [][]*event
+	mask     int64
+	width    float64
+	invWidth float64
+	count    int      // queued events, overflow list and single register included
+	single   *event   // the sole queued event, held outside the buckets
+	overflow []*event // far-future events, unordered
+	cursor   float64  // time of the last pop; scan origin
+	cached   *event   // memoized current minimum; nil = unknown
+}
 
-func (q eventQueue) Len() int { return len(q) }
+const (
+	minBuckets = 8
+	maxBuckets = 1 << 20
+	// maxVirtual is the largest virtual bucket index (time/width) the
+	// calendar will place; anything at or beyond goes to the overflow
+	// list. Staying well under 2^63 keeps the int64 conversion defined.
+	maxVirtual = float64(1 << 62)
+)
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// less is the queue's total order: earlier time first, then FIFO by seq.
+func less(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// push inserts ev, growing the bucket array when the load factor passes 2.
+// An event pushed into an empty queue parks in the single register: the
+// dominant pattern across this repository's simulators — one pending
+// event, fired, replaced — then never touches a bucket at all.
+func (q *calendar) push(ev *event) {
+	if q.count == 0 {
+		ev.bucket = singleSlot
+		q.single = ev
+		q.cached = ev
+		q.count = 1
+		return
+	}
+	if q.buckets == nil {
+		q.buckets = make([][]*event, minBuckets)
+		q.mask = minBuckets - 1
+		q.width = 1
+		q.invWidth = 1
+	}
+	if s := q.single; s != nil {
+		q.single = nil
+		q.place(s)
+	}
+	q.place(ev)
+	q.count++
+	if q.cached != nil && less(ev, q.cached) {
+		q.cached = ev
+	}
+	if q.count > 2*len(q.buckets) && len(q.buckets) < maxBuckets {
+		q.resize(2 * len(q.buckets))
+	}
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// place files ev into its bucket (or the overflow list) without touching
+// count or the cache; push and resize share it.
+func (q *calendar) place(ev *event) {
+	if vb := ev.time * q.invWidth; vb < maxVirtual {
+		b := int64(vb) & q.mask
+		ev.bucket = int32(b)
+		ev.pos = int32(len(q.buckets[b]))
+		q.buckets[b] = append(q.buckets[b], ev)
+		return
+	}
+	ev.bucket = overflowBucket
+	ev.pos = int32(len(q.overflow))
+	q.overflow = append(q.overflow, ev)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// remove unlinks a queued event in O(1) by swapping the last element of
+// its bucket into its slot. Bucket-internal order is irrelevant: selection
+// is always by (time, seq) comparison.
+func (q *calendar) remove(ev *event) {
+	if ev == q.cached {
+		q.cached = nil
+	}
+	if ev.bucket == singleSlot {
+		q.single = nil
+		ev.bucket = notQueued
+		q.count--
+		return
+	}
+	list := &q.overflow
+	if ev.bucket != overflowBucket {
+		list = &q.buckets[ev.bucket]
+	}
+	l := *list
+	n := len(l) - 1
+	last := l[n]
+	l[ev.pos] = last
+	last.pos = ev.pos
+	l[n] = nil
+	*list = l[:n]
+	ev.bucket = notQueued
+	q.count--
+	if nb := len(q.buckets); nb > minBuckets && q.count < nb/2 {
+		q.resize(nb / 2)
+	}
+}
+
+// pop removes a previously found minimum and advances the scan cursor.
+func (q *calendar) pop(ev *event) {
+	q.remove(ev)
+	q.cursor = ev.time
+}
+
+// findMin returns the (time, seq)-least queued event without removing it,
+// or nil when the queue is empty. The result is memoized until the queue
+// changes in a way that could dethrone it.
+func (q *calendar) findMin() *event {
+	if q.count == 0 {
+		return nil
+	}
+	if q.cached != nil {
+		return q.cached
+	}
+	if q.single != nil {
+		q.cached = q.single
+		return q.single
+	}
+	if q.count > len(q.overflow) {
+		// Year scan: starting at the cursor's bucket, each step widens the
+		// admissible time window by one bucket width. Every pending event
+		// with time < top lives in the bucket under scan (events are never
+		// earlier than the cursor), so the first hit is the global minimum
+		// among calendar events — and calendar events always precede
+		// overflow events.
+		vb := math.Floor(q.cursor * q.invWidth)
+		b := int64(vb) & q.mask
+		top := (vb + 1) * q.width
+		n := int64(len(q.buckets))
+		for i := int64(0); i <= n; i++ {
+			var best *event
+			for _, ev := range q.buckets[b] {
+				if ev.time < top && (best == nil || less(ev, best)) {
+					best = ev
+				}
+			}
+			if best != nil {
+				q.cached = best
+				return best
+			}
+			b = (b + 1) & q.mask
+			top += q.width
+		}
+	}
+	// Direct search: nothing within a year of the cursor (or only
+	// overflow events remain). Unconditionally correct, just slower.
+	var best *event
+	for _, bucket := range q.buckets {
+		for _, ev := range bucket {
+			if best == nil || less(ev, best) {
+				best = ev
+			}
+		}
+	}
+	for _, ev := range q.overflow {
+		if best == nil || less(ev, best) {
+			best = ev
+		}
+	}
+	q.cached = best
+	return best
+}
+
+// resize re-buckets every event into n buckets with a width re-estimated
+// from the current population. Order is unaffected: findMin selects by
+// comparison, never by placement.
+func (q *calendar) resize(n int) {
+	scratch := make([]*event, 0, q.count)
+	for _, bucket := range q.buckets {
+		scratch = append(scratch, bucket...)
+	}
+	scratch = append(scratch, q.overflow...)
+	q.width = q.estimateWidth(scratch)
+	q.invWidth = 1 / q.width
+	q.buckets = make([][]*event, n)
+	q.mask = int64(n - 1)
+	q.overflow = nil
+	for _, ev := range scratch {
+		q.place(ev)
+	}
+}
+
+// estimateWidth picks a bucket width close to the typical inter-event gap
+// so that the year scan touches O(1) events per pop. It samples up to 64
+// queued events and takes twice the median positive gap — the median
+// keeps one far-future stray from stretching every bucket. A degenerate
+// population (all simultaneous) keeps the current width.
+func (q *calendar) estimateWidth(evs []*event) float64 {
+	const sampleMax = 64
+	k := len(evs)
+	if k > sampleMax {
+		k = sampleMax
+	}
+	if k < 2 {
+		return q.width
+	}
+	times := make([]float64, 0, k)
+	stride := len(evs) / k
+	for i := 0; i < k; i++ {
+		t := evs[i*stride].time
+		if t*q.invWidth < maxVirtual { // ignore far-future strays
+			times = append(times, t)
+		}
+	}
+	if len(times) < 2 {
+		return q.width
+	}
+	sort.Float64s(times)
+	gaps := times[:0]
+	prev := times[0]
+	for _, t := range times[1:] {
+		if g := t - prev; g > 0 {
+			gaps = append(gaps, g)
+		}
+		prev = t
+	}
+	if len(gaps) == 0 {
+		return q.width
+	}
+	sort.Float64s(gaps)
+	w := 2 * gaps[len(gaps)/2]
+	if w < 1e-12 {
+		w = 1e-12
+	}
+	if w > 1e12 {
+		w = 1e12
+	}
+	return w
 }

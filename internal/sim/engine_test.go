@@ -66,15 +66,18 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
+	if !(Event{}).Cancelled() {
+		t.Error("zero handle must report Cancelled")
+	}
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	var e Engine
 	var order []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.Schedule(float64(i), func(*Engine) { order = append(order, i) })

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// HeapHandler is the callback type for HeapEngine, the reference
+// scheduler. It mirrors Handler but receives the reference engine.
+type HeapHandler func(e *HeapEngine)
+
+// HeapEvent is a cancellable handle returned by HeapEngine.Schedule. It is
+// the pre-rewrite pointer handle: one heap node per scheduled event.
+type HeapEvent struct {
+	time    float64
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	handler HeapHandler
+}
+
+// Time returns the virtual time at which the event fires (or fired).
+func (ev *HeapEvent) Time() float64 { return ev.time }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (ev *HeapEvent) Cancelled() bool { return ev.index < 0 }
+
+// HeapEngine is the binary-heap discrete-event scheduler this repository
+// used before the calendar-queue rewrite, retained verbatim as the
+// executable specification of the determinism contract: (time, seq) FIFO
+// order with cancellable handles. The differential tests in this package
+// drive HeapEngine and Engine through identical randomized schedules and
+// require identical fire orders, and cmd/llbench reports the calendar
+// queue's speedup over it, so regressions in either speed or order
+// surface against a fixed reference rather than prose. It allocates one
+// heap node per event and is not otherwise optimized — do not build new
+// simulators on it.
+type HeapEngine struct {
+	now   float64
+	seq   uint64
+	queue heapQueue
+	fired uint64
+}
+
+// Now returns the current virtual time.
+func (e *HeapEngine) Now() float64 { return e.now }
+
+// Fired returns the number of events that have fired so far.
+func (e *HeapEngine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued.
+func (e *HeapEngine) Pending() int { return len(e.queue) }
+
+// Schedule queues handler to run at absolute virtual time t and returns a
+// cancellable handle. Scheduling in the past or at NaN panics, exactly as
+// on Engine.
+func (e *HeapEngine) Schedule(t float64, handler HeapHandler) *HeapEvent {
+	if handler == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %g before now %g", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: Schedule at NaN")
+	}
+	ev := &HeapEvent{time: t, seq: e.seq, handler: handler}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues handler to run delay seconds from now. A negative delay
+// panics.
+func (e *HeapEngine) After(delay float64, handler HeapHandler) *HeapEvent {
+	return e.Schedule(e.now+delay, handler)
+}
+
+// Cancel removes ev from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *HeapEngine) Cancel(ev *HeapEvent) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step fires the next event, advancing the clock, and reports whether an
+// event fired.
+func (e *HeapEngine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*HeapEvent)
+	ev.index = -1
+	e.now = ev.time
+	e.fired++
+	ev.handler(e)
+	return true
+}
+
+// Run fires events until the queue is empty.
+func (e *HeapEngine) Run() {
+	for e.Step() {
+	}
+}
+
+// NextEventTime returns the firing time of the earliest queued event and
+// whether one exists.
+func (e *HeapEngine) NextEventTime() (float64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].time, true
+}
+
+// heapQueue implements heap.Interface ordered by (time, seq).
+type heapQueue []*HeapEvent
+
+func (q heapQueue) Len() int { return len(q) }
+
+func (q heapQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q heapQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *heapQueue) Push(x any) {
+	ev := x.(*HeapEvent)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *heapQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

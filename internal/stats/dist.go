@@ -33,6 +33,15 @@ func NewExponentialMean(mean float64) Exponential {
 // Sample draws an exponential variate.
 func (e Exponential) Sample(rng *RNG) float64 { return rng.ExpFloat64() / e.Rate }
 
+// SampleInto fills dst with exponential variates. The stream is
+// byte-identical to len(dst) successive Sample calls — the batch form
+// exists purely to amortize per-call overhead on hot paths.
+func (e Exponential) SampleInto(dst []float64, rng *RNG) {
+	for i := range dst {
+		dst[i] = rng.ExpFloat64() / e.Rate
+	}
+}
+
 // Mean returns 1/rate.
 func (e Exponential) Mean() float64 { return 1 / e.Rate }
 
@@ -65,6 +74,21 @@ func (h HyperExp2) Sample(rng *RNG) float64 {
 		return rng.ExpFloat64() / h.Rate1
 	}
 	return rng.ExpFloat64() / h.Rate2
+}
+
+// SampleInto fills dst with hyperexponential variates. It performs
+// exactly the same RNG draws in the same order as len(dst) successive
+// Sample calls, so the variate stream — and therefore every figure fed by
+// it — is unchanged; batching only removes per-call dispatch overhead in
+// the burst generators (DESIGN.md §13).
+func (h HyperExp2) SampleInto(dst []float64, rng *RNG) {
+	for i := range dst {
+		if rng.Float64() < h.P1 {
+			dst[i] = rng.ExpFloat64() / h.Rate1
+		} else {
+			dst[i] = rng.ExpFloat64() / h.Rate2
+		}
+	}
 }
 
 // Mean returns p1/rate1 + p2/rate2.

@@ -2,6 +2,49 @@ package workload
 
 import "lingerlonger/internal/stats"
 
+// sampler draws one burst-duration family without going through the
+// stats.Distribution interface: the node burst loop samples millions of
+// times per simulated hour, and devirtualizing the call is free speed.
+// The arithmetic is exactly HyperExp2.Sample's (same draws, same order,
+// same operations), so replacing the interface changed no figure output.
+type sampler struct {
+	zero bool // pure-idle / pure-busy level: the duration is always 0
+	h    stats.HyperExp2
+}
+
+// newSampler mirrors the old fitOrZero: a zero mean selects the
+// degenerate always-zero sampler, anything else the method-of-moments
+// hyperexponential fit.
+func newSampler(mean, variance float64) sampler {
+	if mean == 0 {
+		return sampler{zero: true}
+	}
+	return sampler{h: stats.MustFitHyperExp2(mean, variance)}
+}
+
+// sample draws one duration. A zero sampler draws nothing from rng,
+// exactly like the stats.Deterministic zero value it replaces.
+func (s *sampler) sample(rng *stats.RNG) float64 {
+	if s.zero {
+		return 0
+	}
+	return s.h.Sample(rng)
+}
+
+// fill draws len(dst) durations in one tight loop — the batched form the
+// figure-CDF sampling and the windowed prefetcher use to amortize
+// per-draw call overhead. The variate stream is identical to len(dst)
+// sample calls.
+func (s *sampler) fill(dst []float64, rng *stats.RNG) {
+	if s.zero {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	s.h.SampleInto(dst, rng)
+}
+
 // Generator produces alternating run and idle bursts for a single
 // utilization level. It samples from the hyperexponential fits of the
 // level's parameters, mirroring the paper's simulator input.
@@ -11,8 +54,8 @@ import "lingerlonger/internal/stats"
 // Windowed).
 type Generator struct {
 	params Params
-	run    stats.Distribution
-	idle   stats.Distribution
+	run    sampler
+	idle   sampler
 	rng    *stats.RNG
 }
 
@@ -22,8 +65,8 @@ func NewGenerator(table *Table, u float64, rng *stats.RNG) *Generator {
 	p := table.ParamsAt(u)
 	return &Generator{
 		params: p,
-		run:    fitOrZero(p.RunMean, p.RunVar),
-		idle:   fitOrZero(p.IdleMean, p.IdleVar),
+		run:    newSampler(p.RunMean, p.RunVar),
+		idle:   newSampler(p.IdleMean, p.IdleVar),
 		rng:    rng,
 	}
 }
@@ -33,11 +76,20 @@ func (g *Generator) Params() Params { return g.params }
 
 // NextRun draws the next run-burst duration in seconds (0 when the level is
 // pure idle).
-func (g *Generator) NextRun() float64 { return g.run.Sample(g.rng) }
+func (g *Generator) NextRun() float64 { return g.run.sample(g.rng) }
 
 // NextIdle draws the next idle-burst duration in seconds (0 when the level
 // is pure busy).
-func (g *Generator) NextIdle() float64 { return g.idle.Sample(g.rng) }
+func (g *Generator) NextIdle() float64 { return g.idle.sample(g.rng) }
+
+// FillRuns fills dst with consecutive run-burst draws. The variate stream
+// is identical to calling NextRun len(dst) times; the batch form amortizes
+// per-draw overhead for CDF sampling and benchmarks.
+func (g *Generator) FillRuns(dst []float64) { g.run.fill(dst, g.rng) }
+
+// FillIdles fills dst with consecutive idle-burst draws, the batched
+// NextIdle.
+func (g *Generator) FillIdles(dst []float64) { g.idle.fill(dst, g.rng) }
 
 // Cycle draws one (run, idle) pair. A long sequence of cycles has expected
 // utilization equal to the generator's level.
@@ -85,10 +137,17 @@ type Windowed struct {
 	windowSize float64
 	rng        *stats.RNG
 
-	now       float64 // current virtual time within the burst stream
+	now       float64 // generator cursor: end of the latest drawn burst
 	windowEnd float64
 	gen       *Generator
 	runNext   bool
+
+	// Lookahead state (SetLookahead). The buffer holds bursts already
+	// drawn but not yet handed out; consumed trails now by up to a
+	// buffer's worth of bursts.
+	buf      []Burst
+	bufPos   int
+	consumed float64
 }
 
 // DefaultWindow is the coarse-grain trace granularity, seconds.
@@ -111,6 +170,28 @@ func NewWindowed(table *Table, source UtilizationSource, windowSize float64, rng
 	return w
 }
 
+// SetLookahead makes Next draw bursts in batches of n, amortizing the
+// per-burst sampling overhead for consumers that walk the stream strictly
+// linearly (the Figure 5 single-node sweep, benchmarks). The burst values
+// are identical to the unbatched stream — prefetching runs the same
+// deterministic draw sequence, just earlier — but the stream's RNG sits
+// up to n bursts ahead of the consumption point at any instant, so a
+// lookahead stream cannot be rewound: SeekTo panics. Callers that share
+// the RNG with other draws, or that seek (the cluster simulator), must
+// not enable lookahead. n <= 0 disables batching; enabling lookahead
+// after the first Next also panics, because the handed-out and drawn
+// positions have already diverged.
+func (w *Windowed) SetLookahead(n int) {
+	if w.now != 0 || len(w.buf) != 0 {
+		panic("workload: SetLookahead after the stream started")
+	}
+	if n <= 0 {
+		w.buf = nil
+		return
+	}
+	w.buf = make([]Burst, 0, n)
+}
+
 // roll opens the window containing w.now.
 func (w *Windowed) roll() {
 	idx := int(w.now / w.windowSize)
@@ -119,14 +200,25 @@ func (w *Windowed) roll() {
 	w.gen = NewGenerator(w.table, u, w.rng)
 }
 
-// Now returns the stream's current virtual time.
-func (w *Windowed) Now() float64 { return w.now }
+// Now returns the stream's current virtual time: the end of the last
+// burst returned by Next. (With lookahead enabled the internal draw
+// cursor runs ahead of this; Now always reports the consumption point.)
+func (w *Windowed) Now() float64 {
+	if w.buf != nil {
+		return w.consumed
+	}
+	return w.now
+}
 
 // SeekTo fast-forwards the stream to time t without generating the
 // intervening bursts; the cluster simulator uses it when a node has no
 // foreign job and its fine-grain activity is irrelevant. Seeking backwards
-// panics.
+// panics, as does seeking a lookahead stream (whose RNG has already drawn
+// past the consumption point — see SetLookahead).
 func (w *Windowed) SeekTo(t float64) {
+	if w.buf != nil {
+		panic("workload: SeekTo on a lookahead stream")
+	}
 	if t < w.now {
 		panic("workload: SeekTo backwards")
 	}
@@ -135,13 +227,37 @@ func (w *Windowed) SeekTo(t float64) {
 	w.roll()
 }
 
-// Utilization returns the level of the current window.
+// Utilization returns the level of the current window. With lookahead
+// enabled this is the prefetcher's window, which may be ahead of the
+// burst most recently returned by Next.
 func (w *Windowed) Utilization() float64 { return w.gen.params.Utilization }
 
 // Next returns the next burst in the stream. Duration is always positive.
 // Pure-idle and pure-busy windows yield a single burst spanning the rest of
 // the window.
 func (w *Windowed) Next() Burst {
+	if w.buf == nil {
+		return w.drawNext()
+	}
+	if w.bufPos == len(w.buf) {
+		w.buf = w.buf[:0]
+		w.bufPos = 0
+		for len(w.buf) < cap(w.buf) {
+			w.buf = append(w.buf, w.drawNext())
+		}
+	}
+	b := w.buf[w.bufPos]
+	w.bufPos++
+	w.consumed = b.End()
+	return b
+}
+
+// drawNext generates one burst at the draw cursor. This is the exact
+// pre-lookahead Next: the boundary snap, the pure-level shortcuts, the
+// alternation parity and the zero-draw skip are all unchanged, so the
+// draw sequence — and with it every figure — is identical whether bursts
+// are pulled one at a time or prefetched.
+func (w *Windowed) drawNext() Burst {
 	for {
 		if w.windowEnd-w.now <= 1e-9 {
 			// Snap forward onto an exact boundary, never backwards: a

@@ -28,13 +28,13 @@ func Fig2(table *Table, utils []float64, samples int, rng *stats.RNG) []Fig2Seri
 		gen := NewGenerator(table, u, rng)
 		p := gen.Params()
 		for _, run := range []bool{true, false} {
+			// Batched draws: same variate stream as a NextRun/NextIdle
+			// loop, without the per-draw call overhead.
 			xs := make([]float64, samples)
-			for i := range xs {
-				if run {
-					xs[i] = gen.NextRun()
-				} else {
-					xs[i] = gen.NextIdle()
-				}
+			if run {
+				gen.FillRuns(xs)
+			} else {
+				gen.FillIdles(xs)
 			}
 			var model stats.Distribution
 			if run {
