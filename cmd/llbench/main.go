@@ -42,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -57,10 +58,12 @@ import (
 	"lingerlonger/internal/cluster"
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
+	"lingerlonger/internal/node"
 	"lingerlonger/internal/serve"
 	"lingerlonger/internal/sim"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
+	"lingerlonger/internal/workload"
 )
 
 func main() {
@@ -126,6 +129,8 @@ func realMain() error {
 
 	fmt.Fprintf(os.Stderr, "llbench: engine suite...\n")
 	snap.Engine = engineSuite()
+	fmt.Fprintf(os.Stderr, "llbench: node suite...\n")
+	snap.Node = nodeSuite()
 	fmt.Fprintf(os.Stderr, "llbench: cluster suite...\n")
 	cl, err := clusterSuite(*seed, *quick)
 	if err != nil {
@@ -223,6 +228,47 @@ func engineSuite() bench.EngineSuite {
 		HeapNsPerEvent:  heapNs,
 		HeapAllocsPerOp: float64(heap.AllocsPerOp()),
 		SpeedupVsHeap:   heapNs / ns,
+	}
+}
+
+// nodeSuite runs the fine-grain burst-loop microbenchmark: one node
+// serving an unbounded foreign job for a fixed simulated span per
+// iteration at 50% local utilization (the middle of the Figure 5 sweep),
+// on the batched fast path (Node with stream lookahead) and on the
+// retained per-burst reference (RefNode). Both consume statistically
+// identical burst streams, so the speedup is like-for-like; the
+// differential suite in internal/node separately proves the two paths
+// bit-identical on the same stream.
+func nodeSuite() *bench.NodeSuite {
+	const span = 50.0 // simulated seconds per op
+	table := workload.DefaultTable()
+	fast := testing.Benchmark(func(b *testing.B) {
+		n := node.New(node.Config{ContextSwitch: node.DefaultContextSwitch, BurstLookahead: 256},
+			table, workload.ConstantUtilization(0.5), stats.NewRNG(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.ServeForeign(math.Inf(1), float64(i+1)*span)
+		}
+	})
+	ref := testing.Benchmark(func(b *testing.B) {
+		n := node.NewRef(node.DefaultConfig(),
+			table, workload.ConstantUtilization(0.5), stats.NewRNG(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.ServeForeign(math.Inf(1), float64(i+1)*span)
+		}
+	})
+	ns := float64(fast.NsPerOp()) / span
+	refNs := float64(ref.NsPerOp()) / span
+	return &bench.NodeSuite{
+		SimSecondsPerOp:  span,
+		NsPerSimSecond:   ns,
+		SimSecPerWallSec: 1e9 / ns,
+		AllocsPerOp:      float64(fast.AllocsPerOp()),
+		RefNsPerSimSec:   refNs,
+		SpeedupVsRef:     refNs / ns,
 	}
 }
 

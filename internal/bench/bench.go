@@ -50,6 +50,30 @@ type Snapshot struct {
 	Engine  EngineSuite  `json:"engine"`
 	Cluster ClusterSuite `json:"cluster"`
 	Serve   ServeSuite   `json:"serve"`
+
+	// Node is the fine-grain burst-loop microbenchmark, added with
+	// BENCH_007. The field is optional (a pointer, omitted when absent) so
+	// earlier snapshots still load and gate under the same schema version:
+	// adding an optional field is an additive change, not a migration.
+	Node *NodeSuite `json:"node,omitempty"`
+}
+
+// NodeSuite is the node hot-path microbenchmark: one workstation serving
+// an unbounded foreign job across a fixed simulated span at a mixed
+// utilization, run on the batched fast path (node.Node with stream
+// lookahead) and on the retained per-burst reference (node.RefNode), which
+// is the pre-rewrite implementation — so SpeedupVsRef is the like-for-like
+// gain of the burst-loop rewrite, mirroring EngineSuite.SpeedupVsHeap.
+type NodeSuite struct {
+	// SimSecondsPerOp is the simulated span served per benchmark iteration.
+	SimSecondsPerOp float64 `json:"simSecondsPerOp"`
+	// NsPerSimSecond is wall nanoseconds per simulated second on the fast
+	// path; SimSecPerWallSec is its reciprocal throughput form.
+	NsPerSimSecond   float64 `json:"nsPerSimSecond"`
+	SimSecPerWallSec float64 `json:"simSecPerWallSec"`
+	AllocsPerOp      float64 `json:"allocsPerOp"`
+	RefNsPerSimSec   float64 `json:"refNsPerSimSec"`
+	SpeedupVsRef     float64 `json:"speedupVsRef"`
 }
 
 // EngineSuite is the event-dispatch microbenchmark: a self-rescheduling
@@ -141,6 +165,20 @@ func (s *Snapshot) Validate() error {
 		return errors.New("bench: cluster completion latencies must be positive")
 	case c.WallSeconds <= 0:
 		return errors.New("bench: cluster.wallSeconds must be positive")
+	}
+	if n := s.Node; n != nil {
+		switch {
+		case n.SimSecondsPerOp <= 0:
+			return fmt.Errorf("bench: node.simSecondsPerOp must be positive, got %g", n.SimSecondsPerOp)
+		case n.NsPerSimSecond <= 0 || n.SimSecPerWallSec <= 0:
+			return errors.New("bench: node throughput metrics must be positive")
+		case n.AllocsPerOp < 0:
+			return errors.New("bench: node.allocsPerOp must be non-negative")
+		case n.RefNsPerSimSec <= 0:
+			return fmt.Errorf("bench: node.refNsPerSimSec must be positive, got %g", n.RefNsPerSimSec)
+		case n.SpeedupVsRef <= 0:
+			return fmt.Errorf("bench: node.speedupVsRef must be positive, got %g", n.SpeedupVsRef)
+		}
 	}
 	v := &s.Serve
 	if v.Requests <= 0 || v.Concurrency <= 0 {
@@ -309,6 +347,10 @@ func (s *Snapshot) Markdown() string {
 		s.Engine.NsPerEvent, s.Engine.EventsPerSec/1e6, s.Engine.HeapNsPerEvent, s.Engine.SpeedupVsHeap)
 	fmt.Fprintf(&b, "| engine | allocations | %.0f allocs/op, %.0f B/op | heap scheduler %.0f allocs/op |\n",
 		s.Engine.AllocsPerOp, s.Engine.BytesPerOp, s.Engine.HeapAllocsPerOp)
+	if n := s.Node; n != nil {
+		fmt.Fprintf(&b, "| node | burst loop (%.0f sim-s/op) | %.2fM sim-s/s, %.0f allocs/op | per-burst reference — **%.2fx** |\n",
+			n.SimSecondsPerOp, n.SimSecPerWallSec/1e6, n.AllocsPerOp, n.SpeedupVsRef)
+	}
 	fmt.Fprintf(&b, "| cluster | %s batch, %d nodes x %d jobs | mean %.0f s, P95 %.0f s (simulated) | wall %.2f s |\n",
 		s.Cluster.Policy, s.Cluster.Nodes, s.Cluster.Jobs, s.Cluster.MeanCompletionS, s.Cluster.P95CompletionS, s.Cluster.WallSeconds)
 	fmt.Fprintf(&b, "| serve | cold (simulate+fill) | %.0f req/s, P95 %.2f ms | %d requests, %d workers |\n",

@@ -36,9 +36,46 @@ func valid() *Snapshot {
 	}
 }
 
+// validNode returns a plausible node-suite block (optional since
+// BENCH_007).
+func validNode() *NodeSuite {
+	return &NodeSuite{
+		SimSecondsPerOp: 50, NsPerSimSecond: 40000, SimSecPerWallSec: 25000,
+		AllocsPerOp: 2, RefNsPerSimSec: 130000, SpeedupVsRef: 3.2,
+	}
+}
+
 func TestValidateAcceptsGood(t *testing.T) {
+	// Without the optional node suite (pre-BENCH_007 snapshots)...
 	if err := valid().Validate(); err != nil {
 		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	// ...and with it.
+	s := valid()
+	s.Node = validNode()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid snapshot with node suite rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadNodeSuite(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*NodeSuite)
+	}{
+		{"zero span", func(n *NodeSuite) { n.SimSecondsPerOp = 0 }},
+		{"zero throughput", func(n *NodeSuite) { n.SimSecPerWallSec = 0 }},
+		{"negative allocs", func(n *NodeSuite) { n.AllocsPerOp = -1 }},
+		{"zero reference", func(n *NodeSuite) { n.RefNsPerSimSec = 0 }},
+		{"zero speedup", func(n *NodeSuite) { n.SpeedupVsRef = 0 }},
+	}
+	for _, c := range cases {
+		s := valid()
+		s.Node = validNode()
+		c.mut(s.Node)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad node suite", c.name)
+		}
 	}
 }
 

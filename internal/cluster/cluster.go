@@ -177,10 +177,9 @@ type simNode struct {
 	episodeWindows int
 }
 
-// free reports whether a new job may be placed or migrated here.
-func (n *simNode) free() bool { return n.job == nil && n.reserved == nil }
-
-// idleAt reports the recruitment-threshold idle state at time t.
+// idleAt reports the recruitment-threshold idle state at time t. The
+// window-boundary fast paths read the winIdle snapshot instead; this is
+// the mid-window form (migration arrivals attach off the boundary grid).
 func (n *simNode) idleAt(t float64) bool { return n.view.IdleAt(t) }
 
 // episodeUtil returns the average local utilization observed over the
@@ -198,10 +197,30 @@ type simulation struct {
 	predictor predict.Predictor
 	rng       *stats.RNG
 
-	nodes     []*simNode
+	// nodes is stored by value: the placement and advance loops touch every
+	// node every window, and one contiguous slab beats a pointer chase per
+	// node. The slice never grows after construction, so *simNode handles
+	// (Job.node, findDest results) stay valid for the simulation's life.
+	nodes     []simNode
 	queue     []*Job
 	jobs      []*Job
 	migrating []*Job
+
+	// Struct-of-arrays snapshot of every node's coarse-grain trace state at
+	// the current window boundary, refreshed once per stepOnce. Every
+	// placement and policy query inside a boundary happens at exactly s.now
+	// against read-only trace data, so the cache cannot go stale within a
+	// window; findDest then scans flat float64/bool slices instead of doing
+	// three view lookups per candidate per call. winFree is only filled when
+	// cfg.MemoryCheck is set.
+	winUtil []float64
+	winIdle []bool
+	winFree []float64
+
+	// findDest candidate scratch, reused across calls to keep the per-call
+	// allocation count at zero.
+	candIdle  []int32
+	candOther []int32
 
 	now         float64
 	replace     bool // throughput mode: completed jobs respawn
@@ -257,7 +276,10 @@ func newSimulation(cfg Config, corpus []*trace.Trace) (*simulation, error) {
 		cfg:       cfg,
 		decider:   core.Decider{Cost: cfg.Migration},
 		predictor: predictor,
-		nodes:     make([]*simNode, cfg.Nodes),
+		nodes:     make([]simNode, cfg.Nodes),
+		winUtil:   make([]float64, cfg.Nodes),
+		winIdle:   make([]bool, cfg.Nodes),
+		winFree:   make([]float64, cfg.Nodes),
 		rec:       cfg.Rec,
 		cMigr:     cfg.Rec.Counter(obs.Labeled(obs.ClusterMigrations, "policy", policy)),
 		cEvict:    cfg.Rec.Counter(obs.Labeled(obs.ClusterEvictions, "policy", policy)),
@@ -269,7 +291,7 @@ func newSimulation(cfg Config, corpus []*trace.Trace) (*simulation, error) {
 		tr := corpus[rng.Intn(len(corpus))]
 		offset := rng.Float64() * tr.Duration()
 		view := trace.NewView(tr, offset)
-		s.nodes[i] = &simNode{
+		s.nodes[i] = simNode{
 			id:   i,
 			view: view,
 			fine: node.New(node.Config{ContextSwitch: cfg.ContextSwitch, Rec: cfg.Rec}, table, view, rng.Split()),
@@ -290,30 +312,53 @@ func (s *simulation) spawnJob() *Job {
 	return j
 }
 
-// canHost reports whether nd has enough free memory for job j right now.
-func (s *simulation) canHost(nd *simNode, j *Job) bool {
-	if !s.cfg.MemoryCheck {
-		return true
+// refreshWindow recomputes the struct-of-arrays snapshot at the current
+// window boundary. Called once at the top of stepOnce, before any query.
+func (s *simulation) refreshWindow() {
+	check := s.cfg.MemoryCheck
+	for i := range s.nodes {
+		v := s.nodes[i].view
+		s.winUtil[i] = v.UtilizationAt(s.now)
+		s.winIdle[i] = v.IdleAt(s.now)
+		if check {
+			s.winFree[i] = v.SampleAt(s.now).FreeMB
+		}
 	}
-	return nd.view.SampleAt(s.now).FreeMB >= j.SizeMB
 }
 
 // findDest returns the best destination for job j among eligible nodes:
 // idle free nodes first, or — when allowNonIdle (the linger policies'
 // placement rule) — non-idle free nodes as a fallback. Within each class
 // the Placement strategy picks the node. exclude is skipped.
+//
+// Occupancy (job/reserved) is read live — placements earlier in the same
+// boundary must be visible — while the trace-derived state comes from the
+// per-window snapshot. Candidates are collected in ascending node order,
+// exactly the old pointer-scan order, so PlaceRandom draws and every
+// tie-break are unchanged.
 func (s *simulation) findDest(j *Job, allowNonIdle bool, exclude *simNode) *simNode {
-	var idle, nonIdle []*simNode
-	for _, nd := range s.nodes {
-		if nd == exclude || !nd.free() || !s.canHost(nd, j) {
+	idle := s.candIdle[:0]
+	nonIdle := s.candOther[:0]
+	ex := -1
+	if exclude != nil {
+		ex = exclude.id
+	}
+	check := s.cfg.MemoryCheck
+	for i := range s.nodes {
+		nd := &s.nodes[i]
+		if i == ex || nd.job != nil || nd.reserved != nil {
 			continue
 		}
-		if nd.idleAt(s.now) {
-			idle = append(idle, nd)
+		if check && s.winFree[i] < j.SizeMB {
+			continue
+		}
+		if s.winIdle[i] {
+			idle = append(idle, int32(i))
 		} else if allowNonIdle {
-			nonIdle = append(nonIdle, nd)
+			nonIdle = append(nonIdle, int32(i))
 		}
 	}
+	s.candIdle, s.candOther = idle, nonIdle // retain grown capacity
 	if len(idle) > 0 {
 		return s.pick(idle)
 	}
@@ -323,28 +368,24 @@ func (s *simulation) findDest(j *Job, allowNonIdle bool, exclude *simNode) *simN
 	return nil
 }
 
-// pick applies the placement strategy to a non-empty candidate list.
-func (s *simulation) pick(candidates []*simNode) *simNode {
+// pick applies the placement strategy to a non-empty candidate list of
+// node indices (ascending).
+func (s *simulation) pick(candidates []int32) *simNode {
 	switch s.cfg.Placement {
 	case PlaceRandom:
-		return candidates[s.rng.Intn(len(candidates))]
+		return &s.nodes[candidates[s.rng.Intn(len(candidates))]]
 	case PlaceFirstFit:
-		best := candidates[0]
-		for _, nd := range candidates[1:] {
-			if nd.id < best.id {
-				best = nd
-			}
-		}
-		return best
+		// Candidates arrive in ascending id order, so the first is the fit.
+		return &s.nodes[candidates[0]]
 	default: // PlaceLowestUtil
 		best := candidates[0]
-		bestU := best.view.UtilizationAt(s.now)
-		for _, nd := range candidates[1:] {
-			if u := nd.view.UtilizationAt(s.now); u < bestU {
-				best, bestU = nd, u
+		bestU := s.winUtil[best]
+		for _, c := range candidates[1:] {
+			if u := s.winUtil[c]; u < bestU {
+				best, bestU = c, u
 			}
 		}
-		return best
+		return &s.nodes[best]
 	}
 }
 
@@ -399,12 +440,13 @@ func (s *simulation) requeue(j *Job) {
 // boundaryActions applies policy decisions for every occupied node at the
 // current window boundary.
 func (s *simulation) boundaryActions() {
-	for _, nd := range s.nodes {
+	for i := range s.nodes {
+		nd := &s.nodes[i]
 		j := nd.job
 		if j == nil {
 			continue
 		}
-		idle := nd.idleAt(s.now)
+		idle := s.winIdle[i]
 		switch j.state {
 		case Running:
 			if idle {
@@ -413,7 +455,7 @@ func (s *simulation) boundaryActions() {
 			// The owner came back: a non-idle episode begins.
 			nd.inEpisode = true
 			nd.episodeStart = s.now
-			nd.episodeUtilSum = nd.view.UtilizationAt(s.now)
+			nd.episodeUtilSum = s.winUtil[i]
 			nd.episodeWindows = 1
 			s.ownerReturned(j, nd)
 		case Lingering:
@@ -425,7 +467,7 @@ func (s *simulation) boundaryActions() {
 				j.setState(Running, s.now)
 				continue
 			}
-			nd.episodeUtilSum += nd.view.UtilizationAt(s.now)
+			nd.episodeUtilSum += s.winUtil[i]
 			nd.episodeWindows++
 			s.lingerDecision(j, nd)
 		case Paused:
@@ -483,7 +525,7 @@ func (s *simulation) lingerDecision(j *Job, nd *simNode) {
 	}
 	age := s.now - nd.episodeStart
 	h := nd.episodeUtil()
-	l := dest.view.UtilizationAt(s.now)
+	l := s.winUtil[dest.id]
 	if h > 1 {
 		h = 1
 	}
@@ -541,9 +583,9 @@ func (s *simulation) arriveMigrations(windowEnd float64) {
 }
 
 func (s *simulation) findReservation(j *Job) *simNode {
-	for _, nd := range s.nodes {
-		if nd.reserved == j {
-			return nd
+	for i := range s.nodes {
+		if s.nodes[i].reserved == j {
+			return &s.nodes[i]
 		}
 	}
 	panic(fmt.Sprintf("cluster: migrating job %d has no reservation", j.ID))
@@ -581,8 +623,8 @@ func (s *simulation) serveJob(j *Job, windowEnd float64) {
 
 // serveWindow services every attached job for [now, windowEnd).
 func (s *simulation) serveWindow(windowEnd float64) {
-	for _, nd := range s.nodes {
-		j := nd.job
+	for i := range s.nodes {
+		j := s.nodes[i].job
 		if j == nil {
 			continue
 		}
@@ -596,8 +638,9 @@ func (s *simulation) serveWindow(windowEnd float64) {
 // stepOnce advances the simulation by one trace window.
 func (s *simulation) stepOnce() {
 	windowEnd := s.now + step
-	for _, nd := range s.nodes {
-		s.localDemand += nd.view.UtilizationAt(s.now) * step
+	s.refreshWindow()
+	for i := range s.nodes {
+		s.localDemand += s.winUtil[i] * step
 	}
 	s.boundaryActions()
 	s.placeQueued()
@@ -621,8 +664,8 @@ func (s *simulation) localDelay() float64 {
 		return 0
 	}
 	var delay float64
-	for _, nd := range s.nodes {
-		delay += nd.fine.LocalDelay()
+	for i := range s.nodes {
+		delay += s.nodes[i].fine.LocalDelay()
 	}
 	return delay / s.localDemand
 }

@@ -1,0 +1,178 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/workload"
+)
+
+// steppedUtilization is a UtilizationSource that walks a fixed cycle of
+// levels, changing every window: it forces the stream through mixed,
+// pure-idle and pure-busy windows so the differential suite crosses every
+// drawNext branch.
+type steppedUtilization []float64
+
+func (s steppedUtilization) UtilizationAt(t float64) float64 {
+	idx := int(t/workload.DefaultWindow) % len(s)
+	if idx < 0 {
+		idx += len(s)
+	}
+	return s[idx]
+}
+
+// nodeModel is the surface the differential suite compares: both Node and
+// RefNode implement it.
+type nodeModel interface {
+	Now() float64
+	LDR() float64
+	FCSR() float64
+	ForeignCPU() float64
+	LocalDelay() float64
+	LocalCPUDemand() float64
+	Preemptions() int64
+	Advance(until float64)
+	ServeForeign(demand, until float64) float64
+	ResetMetrics()
+}
+
+// compareStates fails the test unless fast and ref agree exactly — not
+// within a tolerance — on every observable metric. Bit-identity is the
+// contract: the fast path must change no figure by any amount.
+func compareStates(t *testing.T, step int, fast, ref nodeModel) {
+	t.Helper()
+	if fast.Now() != ref.Now() {
+		t.Fatalf("step %d: Now %v != ref %v", step, fast.Now(), ref.Now())
+	}
+	if fast.LDR() != ref.LDR() {
+		t.Fatalf("step %d: LDR %v != ref %v", step, fast.LDR(), ref.LDR())
+	}
+	if fast.FCSR() != ref.FCSR() {
+		t.Fatalf("step %d: FCSR %v != ref %v", step, fast.FCSR(), ref.FCSR())
+	}
+	if fast.ForeignCPU() != ref.ForeignCPU() {
+		t.Fatalf("step %d: ForeignCPU %v != ref %v", step, fast.ForeignCPU(), ref.ForeignCPU())
+	}
+	if fast.LocalDelay() != ref.LocalDelay() {
+		t.Fatalf("step %d: LocalDelay %v != ref %v", step, fast.LocalDelay(), ref.LocalDelay())
+	}
+	if fast.LocalCPUDemand() != ref.LocalCPUDemand() {
+		t.Fatalf("step %d: LocalCPUDemand %v != ref %v", step, fast.LocalCPUDemand(), ref.LocalCPUDemand())
+	}
+	if fast.Preemptions() != ref.Preemptions() {
+		t.Fatalf("step %d: Preemptions %v != ref %v", step, fast.Preemptions(), ref.Preemptions())
+	}
+}
+
+var differentialSeeds = []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233}
+
+// TestDifferentialRandomInterleavings drives a fast Node and a RefNode
+// through the same randomized Advance/ServeForeign/ResetMetrics schedule
+// (the full call surface the cluster simulator uses, including detach gaps
+// and mid-window resumes) and asserts bit-identical state after every
+// call, across 12 seeds and three context-switch costs.
+func TestDifferentialRandomInterleavings(t *testing.T) {
+	table := workload.DefaultTable()
+	src := steppedUtilization{0.3, 0, 0.7, 1, 0.1, 0.5, 0.9, 0.05}
+	for _, seed := range differentialSeeds {
+		cs := []float64{0, 100e-6, 500e-6}[seed%3]
+		cfg := Config{ContextSwitch: cs}
+		fast := New(cfg, table, src, stats.NewRNG(seed))
+		ref := NewRef(cfg, table, src, stats.NewRNG(seed))
+		ops := stats.NewRNG(seed * 977)
+		for step := 0; step < 250; step++ {
+			switch ops.Intn(5) {
+			case 0: // detach gap: advance with no foreign job
+				until := fast.Now() + ops.Float64()*7
+				fast.Advance(until)
+				ref.Advance(until)
+			case 1: // metric interval boundary
+				fast.ResetMetrics()
+				ref.ResetMetrics()
+			default: // serve, sometimes unbounded, sometimes demand-limited
+				demand := math.Inf(1)
+				if ops.Bool(0.5) {
+					demand = ops.Float64() * 2
+				}
+				until := fast.Now() + ops.Float64()*5
+				df := fast.ServeForeign(demand, until)
+				dr := ref.ServeForeign(demand, until)
+				if df != dr {
+					t.Fatalf("seed %d step %d: delivered %v != ref %v", seed, step, df, dr)
+				}
+			}
+			compareStates(t, step, fast, ref)
+		}
+	}
+}
+
+// TestDifferentialLookaheadBatches compares the batched fast path (stream
+// lookahead enabled, bursts consumed via Buffered/Consume) against the
+// per-burst reference with and without its own lookahead. Lookahead
+// streams cannot seek, so the schedule is strictly linear ServeForeign
+// calls — exactly the Figure 5 and benchmark consumption pattern — with
+// demand limits and short deadlines forcing partial bursts into the
+// resume path.
+func TestDifferentialLookaheadBatches(t *testing.T) {
+	table := workload.DefaultTable()
+	src := steppedUtilization{0.2, 0.6, 0, 1, 0.4}
+	for _, refLookahead := range []int{0, 64} {
+		for _, seed := range differentialSeeds {
+			cs := []float64{0, 100e-6, 300e-6}[seed%3]
+			fast := New(Config{ContextSwitch: cs, BurstLookahead: 64}, table, src, stats.NewRNG(seed))
+			ref := NewRef(Config{ContextSwitch: cs, BurstLookahead: refLookahead}, table, src, stats.NewRNG(seed))
+			ops := stats.NewRNG(seed ^ 0x9e3779b9)
+			for step := 0; step < 200; step++ {
+				if ops.Intn(8) == 0 {
+					fast.ResetMetrics()
+					ref.ResetMetrics()
+				}
+				demand := math.Inf(1)
+				if ops.Bool(0.4) {
+					demand = ops.Float64() * 1.5
+				}
+				until := fast.Now() + ops.Float64()*4
+				df := fast.ServeForeign(demand, until)
+				dr := ref.ServeForeign(demand, until)
+				if df != dr {
+					t.Fatalf("refLA %d seed %d step %d: delivered %v != ref %v",
+						refLookahead, seed, step, df, dr)
+				}
+				compareStates(t, step, fast, ref)
+			}
+		}
+	}
+}
+
+// TestDifferentialLateClock anchors both implementations at t ~ 1e9 s —
+// where float64 spacing (~1.2e-7 s) dwarfs the historical absolute burst
+// epsilon — and asserts they still agree exactly and keep FCSR physical.
+func TestDifferentialLateClock(t *testing.T) {
+	table := workload.DefaultTable()
+	src := steppedUtilization{0.5, 0.2, 0, 0.8}
+	const anchor = 1e9
+	for _, seed := range differentialSeeds[:8] {
+		fast := New(Config{ContextSwitch: 100e-6}, table, src, stats.NewRNG(seed))
+		ref := NewRef(Config{ContextSwitch: 100e-6}, table, src, stats.NewRNG(seed))
+		fast.Advance(anchor)
+		ref.Advance(anchor)
+		ops := stats.NewRNG(seed + 4242)
+		for step := 0; step < 60; step++ {
+			demand := math.Inf(1)
+			if ops.Bool(0.5) {
+				demand = ops.Float64()
+			}
+			until := fast.Now() + ops.Float64()*4
+			df := fast.ServeForeign(demand, until)
+			dr := ref.ServeForeign(demand, until)
+			if df != dr {
+				t.Fatalf("seed %d step %d: delivered %v != ref %v", seed, step, df, dr)
+			}
+			compareStates(t, step, fast, ref)
+			if f := fast.FCSR(); f > 1+1e-12 {
+				t.Fatalf("seed %d step %d: FCSR %v above 1 at late clock", seed, step, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"lingerlonger/internal/stats"
+	"lingerlonger/internal/workload"
+)
+
+// TestBurstEpsScales pins the two regimes of the burst-end tolerance: the
+// historical absolute 1e-12 near the origin, and the four-ulp relative
+// bound once the clock grows past the crossover (|end| * 2^-50 > 1e-12,
+// i.e. end ~ 4500 s).
+func TestBurstEpsScales(t *testing.T) {
+	if got := burstEps(1.0); got != 1e-12 {
+		t.Errorf("burstEps(1.0) = %g, want the absolute floor 1e-12", got)
+	}
+	if got := burstEps(100.0); got != 1e-12 {
+		t.Errorf("burstEps(100.0) = %g, want the absolute floor 1e-12", got)
+	}
+	if got, want := burstEps(1e9), 1e9*0x1p-50; got != want {
+		t.Errorf("burstEps(1e9) = %g, want the relative bound %g", got, want)
+	}
+	// The relative bound must cover at least one ulp (else a one-ulp
+	// shortfall re-enters the burst) while staying far below real burst
+	// durations (tens of milliseconds).
+	for _, end := range []float64{5e3, 1e6, 1e9, 6.048e5 /* 7-day horizon */} {
+		eps := burstEps(end)
+		if ulp := math.Nextafter(end, math.Inf(1)) - end; eps < ulp {
+			t.Errorf("burstEps(%g) = %g below one ulp %g", end, eps, ulp)
+		}
+		if eps > 1e-3 {
+			t.Errorf("burstEps(%g) = %g not far below burst durations", end, eps)
+		}
+	}
+}
+
+// TestBurstDoneLateClock is the regression the scale-aware tolerance
+// exists for: at t ~ 1e9 s, float64 spacing (~1.2e-7 s) dwarfs the
+// historical absolute epsilon, so a steal that lands one ulp short of the
+// burst end — the closest a rounded now + (end - now) can get without
+// arriving — must still count as finished. Under the absolute 1e-12 the
+// burst was re-entered for a phantom iteration that over-accounted
+// idleSeen and foreignCPU by one ulp each time.
+func TestBurstDoneLateClock(t *testing.T) {
+	end := 1e9
+	oneUlpShort := math.Nextafter(end, 0)
+	// Premise: the historical absolute tolerance really does misclassify
+	// this position (spacing at 1e9 exceeds 1e-12 by five orders).
+	if end-oneUlpShort <= 1e-12 {
+		t.Fatalf("premise broken: ulp at 1e9 = %g not above 1e-12", end-oneUlpShort)
+	}
+	if !burstDone(oneUlpShort, end) {
+		t.Errorf("one ulp short of a burst end at t=1e9 not treated as done")
+	}
+	if !burstDone(end, end) || !burstDone(end+1, end) {
+		t.Errorf("at or past the burst end not treated as done")
+	}
+	// A real sliver — a microsecond-scale remainder — is not "done" even
+	// at a late clock: the tolerance must stay below genuine work.
+	if burstDone(end-1e-3, end) {
+		t.Errorf("1 ms remainder at t=1e9 wrongly treated as done")
+	}
+	// Near the origin the behavior is the historical one.
+	if !burstDone(1.0-1e-13, 1.0) {
+		t.Errorf("sub-epsilon remainder near origin not treated as done")
+	}
+	if burstDone(1.0-1e-9, 1.0) {
+		t.Errorf("1 ns remainder near origin wrongly treated as done")
+	}
+}
+
+// TestServeForeignLateClockInvariants anchors a live node at t = 1e9 and
+// serves an unbounded foreign job across many windows. With the absolute
+// epsilon, phantom re-entries at this clock inflate foreignCPU relative to
+// idleSeen; the scale-aware tolerance keeps the accounting physical:
+// FCSR <= 1, foreignCPU <= idleSeen <= elapsed time, and the serve loop
+// terminates (a livelock here would hang the test).
+func TestServeForeignLateClockInvariants(t *testing.T) {
+	const anchor = 1e9
+	for _, u := range []float64{0, 0.3, 0.7} {
+		n := New(DefaultConfig(), workload.DefaultTable(), workload.ConstantUtilization(u), stats.NewRNG(7))
+		n.Advance(anchor)
+		start := n.Now()
+		n.ServeForeign(math.Inf(1), anchor+500)
+		elapsed := n.Now() - start
+		if elapsed <= 0 {
+			t.Fatalf("u=%g: clock did not move", u)
+		}
+		if fcsr := n.FCSR(); fcsr > 1 {
+			t.Errorf("u=%g: FCSR %v above 1 at late clock", u, fcsr)
+		}
+		if n.ForeignCPU() > n.idleSeen {
+			t.Errorf("u=%g: foreignCPU %v above idleSeen %v", u, n.ForeignCPU(), n.idleSeen)
+		}
+		if n.idleSeen > elapsed*(1+1e-9) {
+			t.Errorf("u=%g: idleSeen %v above elapsed %v", u, n.idleSeen, elapsed)
+		}
+	}
+}

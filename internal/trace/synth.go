@@ -144,14 +144,23 @@ func Generate(cfg Config, rng *stats.RNG) (*Trace, error) {
 	if present {
 		state = stTyping
 	}
-	stateLeft := sampleEpisode(rng, cfg, state) // seconds remaining in state
+	stateLeft := sampleEpisode(rng, &cfg, state) // seconds remaining in state
 	cronLeft := 0.0
 	baseWS := uniform(rng, cfg.BaseWSPresent)
 	computeWS := 0.0
 
+	// The presence target is piecewise constant per hour, so it is looked
+	// up once per hour boundary instead of per two-second sample. The
+	// values are identical to calling presenceAt every step.
+	target := 0.0
+	targetUntil := 0.0
+
 	for i := 0; i < n; i++ {
 		now := float64(i) * SampleInterval
-		target := cfg.presenceAt(now)
+		if now >= targetUntil {
+			target = cfg.presenceAt(now)
+			targetUntil = (math.Floor(now/3600) + 1) * 3600
+		}
 
 		// Presence transitions.
 		if present {
@@ -170,7 +179,7 @@ func Generate(cfg Config, rng *stats.RNG) (*Trace, error) {
 			if rng.Float64() < pArrive {
 				present = true
 				state = stTyping
-				stateLeft = sampleEpisode(rng, cfg, state)
+				stateLeft = sampleEpisode(rng, &cfg, state)
 			}
 		}
 
@@ -178,8 +187,8 @@ func Generate(cfg Config, rng *stats.RNG) (*Trace, error) {
 		if present {
 			stateLeft -= SampleInterval
 			if stateLeft <= 0 {
-				state = nextEpisode(rng, cfg, state)
-				stateLeft = sampleEpisode(rng, cfg, state)
+				state = nextEpisode(rng, &cfg, state)
+				stateLeft = sampleEpisode(rng, &cfg, state)
 			}
 		}
 
@@ -256,7 +265,7 @@ func GenerateCorpus(cfg Config, machines int, rng *stats.RNG) ([]*Trace, error) 
 
 // presenceAt returns the target occupancy for the time-of-week at t
 // seconds from the trace start (the trace starts Monday 00:00).
-func (c Config) presenceAt(t float64) float64 {
+func (c *Config) presenceAt(t float64) float64 {
 	day := int(t/86400) % 7 // 0 = Monday
 	hour := math.Mod(t, 86400) / 3600
 	weekend := day >= 5
@@ -273,7 +282,7 @@ func (c Config) presenceAt(t float64) float64 {
 	}
 }
 
-func sampleEpisode(rng *stats.RNG, cfg Config, s ownerState) float64 {
+func sampleEpisode(rng *stats.RNG, cfg *Config, s ownerState) float64 {
 	switch s {
 	case stTyping:
 		return rng.ExpFloat64() * cfg.MeanTypingSec
@@ -286,7 +295,7 @@ func sampleEpisode(rng *stats.RNG, cfg Config, s ownerState) float64 {
 	}
 }
 
-func nextEpisode(rng *stats.RNG, cfg Config, s ownerState) ownerState {
+func nextEpisode(rng *stats.RNG, cfg *Config, s ownerState) ownerState {
 	switch s {
 	case stTyping:
 		if rng.Bool(cfg.ComputeProb) {

@@ -16,6 +16,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // SampleInterval is the trace sampling granularity in seconds.
@@ -37,10 +38,22 @@ type Sample struct {
 }
 
 // Trace is a sequence of samples from one workstation.
+//
+// Samples must not be mutated after the first NewView on the trace: views
+// share one lazily computed idle mask (a pure function of the samples),
+// and a later mutation would leave it stale.
 type Trace struct {
 	Interval float64 // seconds between samples (SampleInterval)
 	TotalMB  float64 // physical memory size of the machine
 	Samples  []Sample
+
+	// Idle-mask memo. Computing the recruitment mask is O(samples); before
+	// it was cached here, NewView recomputed it per node and the 64-node
+	// cluster constructor dominated the whole simulation's profile. The
+	// sync.Once makes the lazy fill safe when parallel sweep workers build
+	// views over a shared corpus.
+	maskOnce sync.Once
+	maskMemo []bool
 }
 
 // Duration returns the trace length in seconds.
@@ -94,6 +107,15 @@ func (t *Trace) IdleMask() []bool {
 	return mask
 }
 
+// sharedIdleMask returns the memoized idle mask, computing it on first
+// use. The returned slice is shared across every View of the trace and
+// must be treated as read-only; IdleMask stays available for callers that
+// need a private copy.
+func (t *Trace) sharedIdleMask() []bool {
+	t.maskOnce.Do(func() { t.maskMemo = t.IdleMask() })
+	return t.maskMemo
+}
+
 // Episode is a maximal run of consecutive idle or non-idle samples.
 type Episode struct {
 	Start float64 // seconds, inclusive
@@ -139,7 +161,7 @@ func NewView(tr *Trace, offset float64) *View {
 	if len(tr.Samples) == 0 {
 		panic("trace: NewView on empty trace")
 	}
-	return &View{trace: tr, offset: offset, mask: tr.IdleMask()}
+	return &View{trace: tr, offset: offset, mask: tr.sharedIdleMask()}
 }
 
 // Trace returns the underlying trace.

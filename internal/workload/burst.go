@@ -62,8 +62,16 @@ type Generator struct {
 // NewGenerator returns a burst generator for utilization u drawn from
 // table, using rng for sampling.
 func NewGenerator(table *Table, u float64, rng *stats.RNG) *Generator {
+	g := makeGenerator(table, u, rng)
+	return &g
+}
+
+// makeGenerator is NewGenerator without the heap allocation: Windowed
+// embeds the generator by value because it replaces it on every window
+// roll (once per node per two simulated seconds in the cluster loop).
+func makeGenerator(table *Table, u float64, rng *stats.RNG) Generator {
 	p := table.ParamsAt(u)
-	return &Generator{
+	return Generator{
 		params: p,
 		run:    newSampler(p.RunMean, p.RunVar),
 		idle:   newSampler(p.IdleMean, p.IdleVar),
@@ -139,7 +147,7 @@ type Windowed struct {
 
 	now       float64 // generator cursor: end of the latest drawn burst
 	windowEnd float64
-	gen       *Generator
+	gen       Generator // by value: replaced every window roll
 	runNext   bool
 
 	// Lookahead state (SetLookahead). The buffer holds bursts already
@@ -197,7 +205,7 @@ func (w *Windowed) roll() {
 	idx := int(w.now / w.windowSize)
 	w.windowEnd = float64(idx+1) * w.windowSize
 	u := w.source.UtilizationAt(w.now)
-	w.gen = NewGenerator(w.table, u, w.rng)
+	w.gen = makeGenerator(w.table, u, w.rng)
 }
 
 // Now returns the stream's current virtual time: the end of the last
@@ -240,16 +248,52 @@ func (w *Windowed) Next() Burst {
 		return w.drawNext()
 	}
 	if w.bufPos == len(w.buf) {
-		w.buf = w.buf[:0]
-		w.bufPos = 0
-		for len(w.buf) < cap(w.buf) {
-			w.buf = append(w.buf, w.drawNext())
-		}
+		w.refill()
 	}
 	b := w.buf[w.bufPos]
 	w.bufPos++
 	w.consumed = b.End()
 	return b
+}
+
+// refill redraws a full lookahead batch. Only called with an empty buffer.
+func (w *Windowed) refill() {
+	w.buf = w.buf[:0]
+	w.bufPos = 0
+	for len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, w.drawNext())
+	}
+}
+
+// Buffered returns the prefetched bursts not yet handed out, refilling the
+// batch when it is empty, or nil when lookahead is disabled. The slice
+// aliases the internal buffer and is valid until the next Next, Buffered
+// or Consume call; callers must not modify it. Together with Consume it is
+// the zero-call batch form of Next: the node hot loop walks the slice
+// directly instead of paying one call and one buffer-position update per
+// burst.
+func (w *Windowed) Buffered() []Burst {
+	if w.buf == nil {
+		return nil
+	}
+	if w.bufPos == len(w.buf) {
+		w.refill()
+	}
+	return w.buf[w.bufPos:]
+}
+
+// Consume marks the first k bursts of the latest Buffered slice as handed
+// out, exactly as if they had been returned by k Next calls. It panics if
+// k overruns the buffer.
+func (w *Windowed) Consume(k int) {
+	if k == 0 {
+		return
+	}
+	if k < 0 || w.bufPos+k > len(w.buf) {
+		panic("workload: Consume past the buffered batch")
+	}
+	w.bufPos += k
+	w.consumed = w.buf[w.bufPos-1].End()
 }
 
 // drawNext generates one burst at the draw cursor. This is the exact
