@@ -34,11 +34,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"time"
 
 	"lingerlonger/internal/cli"
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
+	"lingerlonger/internal/fabric"
 	"lingerlonger/internal/obs"
 	"lingerlonger/internal/runtime"
 )
@@ -50,6 +50,11 @@ func main() {
 func realMain() (err error) {
 	var o cli.Obs
 	o.RegisterFlags()
+	// The cluster-link surface (timeouts, retries, health intervals,
+	// in-flight bound) is the same typed struct llsweep uses, so the two
+	// commands cannot drift apart.
+	link := fabric.DefaultLinkConfig()
+	link.RegisterFlags(flag.CommandLine)
 	var (
 		agentMode = flag.Bool("agent", false, "serve a workstation agent")
 		coordMode = flag.Bool("coordinator", false, "drive a set of agents")
@@ -88,7 +93,8 @@ func realMain() (err error) {
 	case *agentMode:
 		return runAgent(*listen, *name, *util, *busyAfter, *totalMB, rec)
 	case *coordMode:
-		return runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, *seed, *jsonOut, rec)
+		link.Seed = *seed
+		return runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, link, *jsonOut, rec)
 	case *demoMode:
 		return runDemo(*jsonOut, rec)
 	case *faultSpec != "":
@@ -121,6 +127,10 @@ func runAgent(listen, name string, util, busyAfter, totalMB float64, rec *obs.Re
 	}
 	a := runtime.NewAgent(name, ownerScript(busyAfter, util), totalMB)
 	a.SetRecorder(rec)
+	// Agents serve real sweep work (llsweep's fabric) alongside the
+	// simulated job protocol; the built-in registry is the same one the
+	// serial path runs, so both compute identical bytes per spec.
+	a.SetWorkExecutor(fabric.BuiltinTasks().Run)
 	srv := runtime.NewAgentServer(a, l)
 	fmt.Printf("agent %q serving on %s (owner busy at %.0f%% after %.0fs)\n",
 		name, srv.Addr(), 100*util, busyAfter)
@@ -131,7 +141,10 @@ func runAgent(listen, name string, util, busyAfter, totalMB float64, rec *obs.Re
 	return nil
 }
 
-func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int, faultSpec string, seed int64, jsonOut bool, rec *obs.Recorder) error {
+func runCoordinator(addrs []string, policyName string, jobs int, demand float64, steps int, faultSpec string, link fabric.LinkConfig, jsonOut bool, rec *obs.Recorder) error {
+	if err := link.Validate(); err != nil {
+		return cli.Usagef("%v", err)
+	}
 	p, err := core.ParsePolicy(policyName)
 	if err != nil {
 		return cli.Usagef("%v", err)
@@ -150,17 +163,14 @@ func runCoordinator(addrs []string, policyName string, jobs int, demand float64,
 	}
 	counters := &runtime.FaultCounters{}
 	var clients []runtime.AgentClient
-	for i, addr := range addrs {
+	for _, addr := range addrs {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		ccfg := runtime.DefaultTCPClientConfig()
-		ccfg.Retry.BaseDelay = 10 * time.Millisecond
-		ccfg.Retry.MaxDelay = time.Second
-		ccfg.Retry.Seed = exp.DeriveSeed(seed, i)
-		ccfg.Injector = injector
-		ccfg.Counters = counters
+		// One LinkConfig shared with llsweep's fabric; per-client jitter
+		// streams derive from the address hash, so one seed covers all.
+		ccfg := link.ClientConfig("", injector, counters)
 		c, err := runtime.DialAgentConfig(addr, ccfg)
 		if err != nil {
 			return fmt.Errorf("dial %s: %w", addr, err)

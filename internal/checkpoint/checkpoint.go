@@ -48,6 +48,11 @@ type Meta struct {
 	Schema int    `json:"schema_version"`
 	Seed   int64  `json:"seed"`
 	Config string `json:"config"` // fingerprint of every result-determining parameter
+	// Sweep, when non-empty, names the sweep a fabric run manifest belongs
+	// to (llsweep writes it; cmd/experiments leaves it empty). It is part
+	// of the exact-match identity like every other field — resuming a
+	// directory that holds a different sweep is refused.
+	Sweep string `json:"sweep,omitempty"`
 }
 
 // MismatchError reports an attempt to resume from a directory whose

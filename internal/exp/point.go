@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file defines the remote-executable form of a sweep point. A
+// PointSpec is everything an agent process needs to compute one point —
+// task name, sweep ID, index, derived seed, encoded parameters — and a
+// Tasks registry maps task names to executable functions. The contract
+// that makes remote execution safe is the same purity rule the sweep pool
+// relies on (see the package comment): a task's output bytes must be a
+// pure function of its PointSpec, so a point recomputed on any machine,
+// any number of times, yields identical bytes.
+
+// PointSpec describes one sweep point in a form that can cross a process
+// boundary: it is gob- and JSON-encodable and carries no closures. Seed
+// should come from DeriveSeed(master, Index) so the spec fully determines
+// the point's RNG streams; Params holds task-specific parameters in
+// whatever encoding the task documents (canonical JSON throughout this
+// repository).
+type PointSpec struct {
+	Task   string // registered task name
+	Sweep  string // sweep ID, used for checkpoint keys and error reports
+	Index  int    // position of this point in the sweep
+	Seed   int64  // per-point RNG seed, derived from the master seed
+	Params []byte // task-specific parameters (canonical JSON)
+}
+
+// Validate checks the fields every executor relies on.
+func (s PointSpec) Validate() error {
+	if s.Task == "" {
+		return fmt.Errorf("exp: point spec with empty task name")
+	}
+	if s.Index < 0 {
+		return fmt.Errorf("exp: point spec %s with negative index %d", s.Task, s.Index)
+	}
+	return nil
+}
+
+// TaskFunc computes one sweep point from its spec. Implementations must
+// be pure: the returned bytes may depend only on the spec (deterministic
+// encoding included), never on wall-clock, host identity, or shared
+// mutable state — that purity is what makes re-execution after a lost
+// agent, and duplicate execution after an ambiguous timeout, harmless.
+type TaskFunc func(spec PointSpec) ([]byte, error)
+
+// Tasks is a registry of named point executors. It is the seam between
+// the fabric coordinator (which only ships PointSpecs) and the code that
+// knows how to run them; agents and serial drivers register the same
+// tasks so every execution path computes identical bytes.
+type Tasks struct {
+	mu sync.RWMutex
+	m  map[string]TaskFunc
+}
+
+// NewTasks returns an empty registry.
+func NewTasks() *Tasks {
+	return &Tasks{m: map[string]TaskFunc{}}
+}
+
+// Register adds a named task. It fails on an empty name, a nil function,
+// or a duplicate registration — task names are a cross-process protocol,
+// so silently replacing one would let two processes disagree about what a
+// spec means.
+func (t *Tasks) Register(name string, fn TaskFunc) error {
+	if name == "" {
+		return fmt.Errorf("exp: task with empty name")
+	}
+	if fn == nil {
+		return fmt.Errorf("exp: task %q with nil function", name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.m[name]; dup {
+		return fmt.Errorf("exp: task %q already registered", name)
+	}
+	t.m[name] = fn
+	return nil
+}
+
+// Lookup returns the task registered under name.
+func (t *Tasks) Lookup(name string) (TaskFunc, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	fn, ok := t.m[name]
+	return fn, ok
+}
+
+// Names returns the registered task names, sorted.
+func (t *Tasks) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.m))
+	for name := range t.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run validates spec and executes it with the registered task. An
+// unknown task name is an agent-level error, not a transport failure:
+// retrying it on the same registry cannot succeed.
+func (t *Tasks) Run(spec PointSpec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fn, ok := t.Lookup(spec.Task)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown task %q (registered: %v)", spec.Task, t.Names())
+	}
+	return fn(spec)
+}

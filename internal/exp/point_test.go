@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPointSpecValidate(t *testing.T) {
+	if err := (PointSpec{Task: "t", Index: 0}).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := (PointSpec{Index: 0}).Validate(); err == nil {
+		t.Fatal("empty task name accepted")
+	}
+	if err := (PointSpec{Task: "t", Index: -1}).Validate(); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestTasksRegisterAndRun(t *testing.T) {
+	reg := NewTasks()
+	echo := func(spec PointSpec) ([]byte, error) {
+		return []byte(fmt.Sprintf("%s/%d/%d", spec.Task, spec.Index, spec.Seed)), nil
+	}
+	if err := reg.Register("echo", echo); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("echo", echo); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := reg.Register("", echo); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := reg.Register("nilfn", nil); err == nil {
+		t.Fatal("nil function accepted")
+	}
+
+	out, err := reg.Run(PointSpec{Task: "echo", Sweep: "s", Index: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo/3/42" {
+		t.Fatalf("unexpected output %q", out)
+	}
+
+	if _, err := reg.Run(PointSpec{Task: "nope", Index: 0}); err == nil ||
+		!strings.Contains(err.Error(), "unknown task") {
+		t.Fatalf("unknown task: got %v", err)
+	}
+	if _, err := reg.Run(PointSpec{Task: "", Index: 0}); err == nil {
+		t.Fatal("invalid spec executed")
+	}
+}
+
+func TestTasksNames(t *testing.T) {
+	reg := NewTasks()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := reg.Register(name, func(PointSpec) ([]byte, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := reg.Names(), []string{"alpha", "mid", "zeta"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if _, ok := reg.Lookup("alpha"); !ok {
+		t.Fatal("Lookup missed a registered task")
+	}
+	if _, ok := reg.Lookup("missing"); ok {
+		t.Fatal("Lookup found an unregistered task")
+	}
+}

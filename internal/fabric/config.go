@@ -1,0 +1,125 @@
+package fabric
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/runtime"
+)
+
+// LinkConfig is the cluster-link configuration shared by every process
+// that speaks the fabric protocol: cmd/llsweep's coordinator builds its
+// per-slot agent clients from it, and cmd/lingerd's coordinator mode uses
+// the same struct for its legacy job-scheduling clients. One typed surface
+// means one set of flags, one validation, and no drift between the two
+// commands' ideas of a timeout.
+type LinkConfig struct {
+	// DialTimeout bounds each TCP connection attempt. Zero = OS default.
+	DialTimeout time.Duration
+	// CallTimeout is the per-RPC deadline; a call exceeding it counts as a
+	// transient failure (the request may or may not have executed). Zero
+	// disables the deadline — only sensible with an in-process transport.
+	CallTimeout time.Duration
+	// RetryAttempts bounds each logical call's attempt loop (>= 1).
+	RetryAttempts int
+	// RetryBase is the first backoff sleep; successive retries double it.
+	// Zero disables sleeping (the virtual-time test default).
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff. Zero = uncapped.
+	RetryMax time.Duration
+	// HealthInterval is how often the per-agent prober re-probes an agent
+	// that is not Healthy (and how long a worker blocks between noticing
+	// an unhealthy agent and the state possibly changing).
+	HealthInterval time.Duration
+	// SuspectAfter / DeadAfter are consecutive call failures before an
+	// agent is marked Suspect (takes no new work) and Dead (its lost
+	// points are already requeued; only the prober can bring it back).
+	SuspectAfter int
+	DeadAfter    int
+	// MaxInFlight is the number of concurrent work calls per agent: each
+	// agent gets this many slot workers, each with its own TCP connection
+	// and client-stream ID.
+	MaxInFlight int
+	// Seed feeds the per-client backoff jitter streams (and nothing that
+	// affects results — jitter is wall-clock only).
+	Seed int64
+}
+
+// DefaultLinkConfig returns the production defaults: 2 s dials, 10 s
+// calls, three attempts backing off 25 ms..1 s, 250 ms health probes, the
+// §7 suspect/dead thresholds, and four in-flight points per agent.
+func DefaultLinkConfig() LinkConfig {
+	hp := core.DefaultHealthPolicy()
+	return LinkConfig{
+		DialTimeout:    2 * time.Second,
+		CallTimeout:    10 * time.Second,
+		RetryAttempts:  3,
+		RetryBase:      25 * time.Millisecond,
+		RetryMax:       time.Second,
+		HealthInterval: 250 * time.Millisecond,
+		SuspectAfter:   hp.SuspectAfter,
+		DeadAfter:      hp.DeadAfter,
+		MaxInFlight:    4,
+	}
+}
+
+// Validate checks the configuration.
+func (c LinkConfig) Validate() error {
+	if c.DialTimeout < 0 || c.CallTimeout < 0 || c.RetryBase < 0 || c.RetryMax < 0 {
+		return fmt.Errorf("fabric: negative timeout in link config %+v", c)
+	}
+	if c.RetryAttempts < 1 {
+		return fmt.Errorf("fabric: RetryAttempts %d < 1", c.RetryAttempts)
+	}
+	if c.HealthInterval <= 0 {
+		return fmt.Errorf("fabric: HealthInterval %v must be positive", c.HealthInterval)
+	}
+	if c.MaxInFlight < 1 {
+		return fmt.Errorf("fabric: MaxInFlight %d < 1", c.MaxInFlight)
+	}
+	return (core.HealthPolicy{SuspectAfter: c.SuspectAfter, DeadAfter: c.DeadAfter}).Validate()
+}
+
+// RegisterFlags registers the link flags on fs with the receiver's values
+// as defaults. Taking the FlagSet explicitly (instead of the global one)
+// keeps the function usable under go test -count=2, where a global
+// re-registration would panic.
+func (c *LinkConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.DurationVar(&c.DialTimeout, "dial-timeout", c.DialTimeout, "TCP dial timeout per connection attempt")
+	fs.DurationVar(&c.CallTimeout, "call-timeout", c.CallTimeout, "per-RPC deadline (0 disables)")
+	fs.IntVar(&c.RetryAttempts, "retries", c.RetryAttempts, "attempts per logical call")
+	fs.DurationVar(&c.RetryBase, "retry-base", c.RetryBase, "initial retry backoff (doubles per retry)")
+	fs.DurationVar(&c.RetryMax, "retry-max", c.RetryMax, "retry backoff cap")
+	fs.DurationVar(&c.HealthInterval, "health-interval", c.HealthInterval, "probe interval for suspect/dead agents")
+	fs.IntVar(&c.SuspectAfter, "suspect-after", c.SuspectAfter, "consecutive failures before an agent is suspect")
+	fs.IntVar(&c.DeadAfter, "dead-after", c.DeadAfter, "consecutive failures before an agent is dead")
+	fs.IntVar(&c.MaxInFlight, "inflight", c.MaxInFlight, "concurrent work calls per agent")
+}
+
+// HealthPolicy returns the link's suspect/dead thresholds as the §7
+// failure-detector policy.
+func (c LinkConfig) HealthPolicy() core.HealthPolicy {
+	return core.HealthPolicy{SuspectAfter: c.SuspectAfter, DeadAfter: c.DeadAfter}
+}
+
+// ClientConfig builds the runtime TCP client configuration for one client
+// stream. clientID must be unique per concurrent connection to one agent
+// (the fabric uses "w<agent>.<slot>" and "p<agent>"); injector and
+// counters may be nil.
+func (c LinkConfig) ClientConfig(clientID string, injector runtime.FaultInjector, counters *runtime.FaultCounters) runtime.TCPClientConfig {
+	return runtime.TCPClientConfig{
+		Timeout:     c.CallTimeout,
+		DialTimeout: c.DialTimeout,
+		ClientID:    clientID,
+		Retry: runtime.RetryConfig{
+			MaxAttempts: c.RetryAttempts,
+			BaseDelay:   c.RetryBase,
+			MaxDelay:    c.RetryMax,
+			Seed:        c.Seed,
+		},
+		Injector: injector,
+		Counters: counters,
+	}
+}

@@ -1,0 +1,99 @@
+package fabric
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"lingerlonger/internal/runtime"
+)
+
+func TestLinkConfigValidate(t *testing.T) {
+	if err := DefaultLinkConfig().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	mutations := map[string]func(*LinkConfig){
+		"negative dial timeout":  func(c *LinkConfig) { c.DialTimeout = -time.Second },
+		"negative call timeout":  func(c *LinkConfig) { c.CallTimeout = -time.Second },
+		"negative retry base":    func(c *LinkConfig) { c.RetryBase = -time.Second },
+		"negative retry max":     func(c *LinkConfig) { c.RetryMax = -time.Second },
+		"zero retry attempts":    func(c *LinkConfig) { c.RetryAttempts = 0 },
+		"zero health interval":   func(c *LinkConfig) { c.HealthInterval = 0 },
+		"zero in-flight":         func(c *LinkConfig) { c.MaxInFlight = 0 },
+		"suspect after dead":     func(c *LinkConfig) { c.SuspectAfter, c.DeadAfter = 5, 2 },
+		"zero suspect threshold": func(c *LinkConfig) { c.SuspectAfter = 0 },
+	}
+	for name, mutate := range mutations {
+		c := DefaultLinkConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// RegisterFlags must expose every tunable and write parsed values back
+// into the struct.
+func TestLinkConfigRegisterFlags(t *testing.T) {
+	c := DefaultLinkConfig()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.RegisterFlags(fs)
+	err := fs.Parse([]string{
+		"-dial-timeout", "7s",
+		"-call-timeout", "21s",
+		"-retries", "9",
+		"-retry-base", "13ms",
+		"-retry-max", "3s",
+		"-health-interval", "99ms",
+		"-suspect-after", "4",
+		"-dead-after", "8",
+		"-inflight", "6",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LinkConfig{
+		DialTimeout:    7 * time.Second,
+		CallTimeout:    21 * time.Second,
+		RetryAttempts:  9,
+		RetryBase:      13 * time.Millisecond,
+		RetryMax:       3 * time.Second,
+		HealthInterval: 99 * time.Millisecond,
+		SuspectAfter:   4,
+		DeadAfter:      8,
+		MaxInFlight:    6,
+	}
+	if c != want {
+		t.Errorf("parsed config = %+v, want %+v", c, want)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("parsed config invalid: %v", err)
+	}
+}
+
+// ClientConfig must map every link field onto the transport config.
+func TestLinkClientConfig(t *testing.T) {
+	link := DefaultLinkConfig()
+	link.Seed = 77
+	counters := &runtime.FaultCounters{}
+	got := link.ClientConfig("w0.1", nil, counters)
+	if got.ClientID != "w0.1" || got.Counters != counters {
+		t.Errorf("identity fields = %+v", got)
+	}
+	if got.Timeout != link.CallTimeout || got.DialTimeout != link.DialTimeout {
+		t.Errorf("timeouts = %+v", got)
+	}
+	if got.Retry.MaxAttempts != link.RetryAttempts || got.Retry.BaseDelay != link.RetryBase ||
+		got.Retry.MaxDelay != link.RetryMax || got.Retry.Seed != 77 {
+		t.Errorf("retry = %+v", got.Retry)
+	}
+}
+
+func TestLinkHealthPolicy(t *testing.T) {
+	link := DefaultLinkConfig()
+	link.SuspectAfter, link.DeadAfter = 3, 7
+	hp := link.HealthPolicy()
+	if hp.SuspectAfter != 3 || hp.DeadAfter != 7 {
+		t.Errorf("policy = %+v", hp)
+	}
+}

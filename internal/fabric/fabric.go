@@ -1,0 +1,423 @@
+// Package fabric is the distributed sweep executor: a coordinator that
+// partitions the point set of an experiment sweep across a pool of agent
+// processes over the §7 TCP transport, failure-first.
+//
+// The design inherits every guarantee the repository already proves for
+// single-process sweeps and extends them across process boundaries:
+//
+//   - Determinism. Each point is a pure function of its exp.PointSpec
+//     (task, sweep, index, DeriveSeed-derived seed, params), and results
+//     are collected by index. Which agent computed a point, in what order,
+//     after how many retries, under which fault schedule — all of it is
+//     an execution detail. A 3-process fabric run emits byte-identical
+//     output to a serial run, for any agent count.
+//
+//   - At-most-once dispatch. Every work RPC carries a (client, sequence)
+//     pair; agents cache the last reply per client stream and replay it on
+//     retry, so a reply lost in transit never recomputes the point on that
+//     stream. Cross-agent duplicates (a point requeued after an ambiguous
+//     timeout, then finished by both agents) are tolerated rather than
+//     prevented: purity makes the duplicate bytes identical, and the
+//     first completion wins.
+//
+//   - Failure detection and recovery. Consecutive call failures move an
+//     agent Healthy → Suspect (takes no new work) → Dead via the §7
+//     health policy; every failed dispatch requeues its point immediately,
+//     so a dead agent strands nothing. A per-agent prober re-probes on
+//     the health interval and brings a recovered agent back into rotation.
+//     Only when every agent is dead with points outstanding does the run
+//     fail (ErrAllAgentsDead).
+//
+//   - Resumability. With a checkpoint store attached, completed points
+//     are persisted as they finish and restored on the next run, so a
+//     coordinator killed mid-sweep resumes without recomputing — and the
+//     resumed output is byte-identical to an uninterrupted run.
+//
+// See DESIGN.md §15 for the failure model and the determinism-under-faults
+// argument.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/exp"
+	"lingerlonger/internal/obs"
+	"lingerlonger/internal/runtime"
+)
+
+// ErrAllAgentsDead reports a run abandoned because every agent reached the
+// Dead state while points were still outstanding. Partial progress is in
+// the checkpoint store (when one is attached); rerunning resumes from it.
+var ErrAllAgentsDead = errors.New("fabric: all agents dead with points outstanding")
+
+// Config parameterizes a fabric run.
+type Config struct {
+	// Agents lists the TCP addresses of the agent processes.
+	Agents []string
+	// Link is the transport/health configuration shared with cmd/lingerd.
+	Link LinkConfig
+	// Injector, when non-nil, is the deterministic fault seam applied to
+	// every work and probe call (the llsweep -fault flag).
+	Injector runtime.FaultInjector
+	// Store, when non-nil, persists completed points and restores them on
+	// the next run (checkpoint.Run satisfies it). Stored bytes are the
+	// task output verbatim, so serial and fabric runs share snapshots.
+	Store exp.Store
+	// Rec, when non-nil, receives the fabric.* counters and the mirrored
+	// runtime.rpc.* transport tallies at the end of the run. Metrics are
+	// outputs only; no scheduling decision reads them.
+	Rec *obs.Recorder
+}
+
+// Stats reports what a fabric run did. All counts are totals for the run;
+// Transport sums the per-client transport tallies.
+type Stats struct {
+	Dispatched  int                   `json:"dispatched"`  // work calls handed to slot workers
+	Completed   int                   `json:"completed"`   // unique points computed by agents
+	Restored    int                   `json:"restored"`    // points restored from the checkpoint store
+	Requeued    int                   `json:"requeued"`    // dispatches returned to the queue after a transient failure
+	Suspected   int                   `json:"suspected"`   // agent transitions into Suspect
+	Dead        int                   `json:"dead"`        // agent transitions into Dead
+	Resurrected int                   `json:"resurrected"` // Dead agents brought back by the prober
+	Transport   runtime.FaultCounters `json:"transport"`
+}
+
+// Mirror adds the run's tallies into the observability registry under the
+// fabric.* names (and the transport sums under runtime.rpc.*). Nil-safe.
+func (s Stats) Mirror(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Counter(obs.FabricPointsDispatched).Add(int64(s.Dispatched))
+	rec.Counter(obs.FabricPointsCompleted).Add(int64(s.Completed))
+	rec.Counter(obs.FabricPointsRestored).Add(int64(s.Restored))
+	rec.Counter(obs.FabricPointsRequeued).Add(int64(s.Requeued))
+	rec.Counter(obs.FabricAgentsSuspected).Add(int64(s.Suspected))
+	rec.Counter(obs.FabricAgentsDead).Add(int64(s.Dead))
+	rec.Counter(obs.FabricAgentsResurrected).Add(int64(s.Resurrected))
+	s.Transport.Mirror(rec)
+}
+
+// agentLink is the coordinator's view of one agent process. All mutable
+// fields are guarded by the run mutex.
+type agentLink struct {
+	index   int
+	addr    string
+	tracker *core.HealthTracker
+	state   core.HealthState
+}
+
+// run is the shared state of one fabric execution: a pending-index queue,
+// per-point results, and agent health, all under one mutex with a condition
+// variable that wakes slot workers when work or health changes.
+type run struct {
+	cfg   Config
+	sweep string
+	specs []exp.PointSpec
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []int
+	results   [][]byte
+	done      []bool
+	remaining int
+	fatal     error
+	lastErr   error
+	deadCount int
+	stats     Stats
+	agents    []*agentLink
+}
+
+// Run executes specs across cfg.Agents and returns the per-point result
+// bytes ordered by index. specs[i].Index must equal i — results are
+// collected positionally, which is what makes the output independent of
+// scheduling. On error the partial results are discarded (but survive in
+// cfg.Store when one is attached).
+func Run(cfg Config, sweep string, specs []exp.PointSpec) ([][]byte, Stats, error) {
+	if err := cfg.Link.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if len(cfg.Agents) == 0 {
+		return nil, Stats{}, errors.New("fabric: no agents configured")
+	}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, Stats{}, err
+		}
+		if spec.Index != i {
+			return nil, Stats{}, fmt.Errorf("fabric: spec at position %d has index %d", i, spec.Index)
+		}
+	}
+
+	r := &run{
+		cfg:       cfg,
+		sweep:     sweep,
+		specs:     specs,
+		results:   make([][]byte, len(specs)),
+		done:      make([]bool, len(specs)),
+		remaining: len(specs),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i, addr := range cfg.Agents {
+		r.agents = append(r.agents, &agentLink{
+			index:   i,
+			addr:    addr,
+			tracker: core.NewHealthTracker(cfg.Link.HealthPolicy()),
+			state:   core.Healthy,
+		})
+	}
+
+	// Restore completed points before dispatching anything: a resumed run
+	// only ships the points the previous run did not finish.
+	if cfg.Store != nil {
+		for i := range specs {
+			data, ok, err := cfg.Store.Lookup(sweep, i)
+			if err != nil {
+				return nil, r.stats, err
+			}
+			if ok {
+				r.results[i] = data
+				r.done[i] = true
+				r.remaining--
+				r.stats.Restored++
+			}
+		}
+	}
+	for i := range specs {
+		if !r.done[i] {
+			r.pending = append(r.pending, i)
+		}
+	}
+
+	if r.remaining > 0 {
+		var (
+			slotWG   sync.WaitGroup
+			probeWG  sync.WaitGroup
+			stop     = make(chan struct{})
+			counters []*runtime.FaultCounters
+		)
+		for _, a := range r.agents {
+			for slot := 0; slot < cfg.Link.MaxInFlight; slot++ {
+				fc := &runtime.FaultCounters{}
+				counters = append(counters, fc)
+				slotWG.Add(1)
+				go func(a *agentLink, slot int, fc *runtime.FaultCounters) {
+					defer slotWG.Done()
+					r.slot(a, slot, fc)
+				}(a, slot, fc)
+			}
+			fc := &runtime.FaultCounters{}
+			counters = append(counters, fc)
+			probeWG.Add(1)
+			go func(a *agentLink, fc *runtime.FaultCounters) {
+				defer probeWG.Done()
+				r.probe(a, stop, fc)
+			}(a, fc)
+		}
+		slotWG.Wait()
+		close(stop)
+		probeWG.Wait()
+		for _, fc := range counters {
+			r.stats.Transport.Attempts += fc.Attempts
+			r.stats.Transport.Retries += fc.Retries
+			r.stats.Transport.Timeouts += fc.Timeouts
+			r.stats.Transport.CorruptFrames += fc.CorruptFrames
+			r.stats.Transport.DroppedSends += fc.DroppedSends
+			r.stats.Transport.DroppedReplies += fc.DroppedReplies
+			r.stats.Transport.Delays += fc.Delays
+		}
+	}
+
+	r.stats.Mirror(cfg.Rec)
+	if r.fatal != nil {
+		return nil, r.stats, r.fatal
+	}
+	return r.results, r.stats, nil
+}
+
+// slot is one worker goroutine: it holds one TCP client (its own dedup
+// stream on the agent) and loops take → execute → complete/requeue until
+// the run is over. A transient failure requeues the point immediately —
+// the requeue, not any later cleanup, is what guarantees a dying agent
+// strands no work — and feeds the failure detector.
+func (r *run) slot(a *agentLink, slot int, fc *runtime.FaultCounters) {
+	ccfg := r.cfg.Link.ClientConfig(fmt.Sprintf("w%d.%d", a.index, slot), r.cfg.Injector, fc)
+	var client *runtime.TCPClient
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
+	for {
+		idx, ok := r.take(a)
+		if !ok {
+			return
+		}
+		var (
+			data []byte
+			err  error
+		)
+		if client == nil {
+			// The handshake resets this client ID's dedup stream, so a
+			// reconnect can never replay a stale cached reply.
+			client, err = runtime.DialAgentConfig(a.addr, ccfg)
+		}
+		if err == nil {
+			data, err = client.Work(r.specs[idx])
+		}
+		if err == nil {
+			r.complete(a, idx, data)
+			continue
+		}
+		if client != nil {
+			client.Close()
+			client = nil
+		}
+		if !runtime.IsTransient(err) {
+			// The agent answered and refused (unknown task, task error):
+			// retrying anywhere cannot succeed. Fail the run loudly.
+			r.fail(fmt.Errorf("fabric: point %d on %s: %w", idx, a.addr, err))
+			return
+		}
+		r.requeue(a, idx, err)
+	}
+}
+
+// take blocks until a point is available and a's health permits new work,
+// returning ok=false when the run is over (all points done, or fatal).
+func (r *run) take(a *agentLink) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.fatal != nil || r.remaining == 0 {
+			return 0, false
+		}
+		if a.state == core.Healthy && len(r.pending) > 0 {
+			idx := r.pending[0]
+			r.pending = r.pending[1:]
+			r.stats.Dispatched++
+			return idx, true
+		}
+		r.cond.Wait()
+	}
+}
+
+// complete records a successful execution. Duplicate completions (the
+// re-execution of a point whose first result was lost) are detected by
+// the done bit and dropped — both copies carry identical bytes, so which
+// one wins is immaterial.
+func (r *run) complete(a *agentLink, idx int, data []byte) {
+	r.observe(a, true, nil)
+	r.mu.Lock()
+	first := !r.done[idx]
+	if first {
+		r.done[idx] = true
+		r.results[idx] = data
+		r.remaining--
+		r.stats.Completed++
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if first && r.cfg.Store != nil {
+		if err := r.cfg.Store.Save(r.sweep, idx, data); err != nil {
+			r.fail(fmt.Errorf("fabric: save point %d: %w", idx, err))
+		}
+	}
+}
+
+// requeue returns a point to the queue after a transient failure and
+// feeds the failure detector.
+func (r *run) requeue(a *agentLink, idx int, err error) {
+	r.mu.Lock()
+	r.pending = append(r.pending, idx)
+	r.stats.Requeued++
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.observe(a, false, err)
+}
+
+// fail records the first fatal error and wakes everyone.
+func (r *run) fail(err error) {
+	r.mu.Lock()
+	if r.fatal == nil {
+		r.fatal = err
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// observe feeds one call outcome into a's failure detector and handles
+// state transitions: Suspect stops new dispatches, Dead counts toward the
+// all-dead abort, and a success from any state resurrects the agent.
+func (r *run) observe(a *agentLink, ok bool, callErr error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if callErr != nil {
+		r.lastErr = callErr
+	}
+	prev := a.state
+	a.state = a.tracker.Observe(ok)
+	if a.state == prev {
+		return
+	}
+	switch a.state {
+	case core.Suspect:
+		r.stats.Suspected++
+	case core.Dead:
+		r.stats.Dead++
+		r.deadCount++
+		if r.deadCount == len(r.agents) && r.remaining > 0 && r.fatal == nil {
+			if r.lastErr != nil {
+				r.fatal = fmt.Errorf("%w (last failure: %v)", ErrAllAgentsDead, r.lastErr)
+			} else {
+				r.fatal = ErrAllAgentsDead
+			}
+		}
+	case core.Healthy:
+		if prev == core.Dead {
+			r.stats.Resurrected++
+			r.deadCount--
+		}
+	}
+	r.cond.Broadcast()
+}
+
+// probe is the per-agent health prober: every HealthInterval it checks an
+// unhealthy agent with a dial + no-op round trip (through the fault
+// injector, so a partitioned agent stays down until the partition lifts)
+// and feeds the outcome to the failure detector. A probe success is what
+// resurrects a dead agent.
+func (r *run) probe(a *agentLink, stop <-chan struct{}, fc *runtime.FaultCounters) {
+	pcfg := r.cfg.Link.ClientConfig(fmt.Sprintf("p%d", a.index), r.cfg.Injector, fc)
+	pcfg.Retry.MaxAttempts = 1 // the probing loop is its own retry policy
+	timer := time.NewTimer(r.cfg.Link.HealthInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		}
+		timer.Reset(r.cfg.Link.HealthInterval)
+		r.mu.Lock()
+		state := a.state
+		over := r.fatal != nil || r.remaining == 0
+		r.mu.Unlock()
+		if over {
+			return
+		}
+		if state == core.Healthy {
+			continue
+		}
+		ok := false
+		if c, err := runtime.DialAgentConfig(a.addr, pcfg); err == nil {
+			ok = c.Ping() == nil
+			c.Close()
+		}
+		r.observe(a, ok, nil)
+	}
+}

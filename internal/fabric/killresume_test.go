@@ -1,0 +1,169 @@
+package fabric
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lingerlonger/internal/checkpoint"
+	"lingerlonger/internal/exp"
+	"lingerlonger/internal/runtime"
+)
+
+// helperEnv marks a re-exec of the test binary as an agent helper process.
+const helperEnv = "LLFABRIC_AGENT_HELPER"
+
+func TestMain(m *testing.M) {
+	if name := os.Getenv(helperEnv); name != "" {
+		runAgentHelper(name)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runAgentHelper is the body of a re-exec'd agent process: serve one work
+// agent on an ephemeral port, print the address, and block until killed.
+// The task registry must match the in-process baseline's so both compute
+// identical bytes per spec.
+func runAgentHelper(name string) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	owner, err := runtime.NewScriptedOwner([]runtime.OwnerPhase{{Duration: 1e9, Util: 0.02, FreeMB: 40}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	a := runtime.NewAgent(name, owner, 64)
+	a.SetWorkExecutor(testTasks(15 * time.Millisecond).Run)
+	srv := runtime.NewAgentServer(a, l)
+	fmt.Println(srv.Addr())
+	select {} // until SIGKILL
+}
+
+// spawnAgentProcess re-execs the test binary as an agent helper and returns
+// its address and process handle.
+func spawnAgentProcess(t *testing.T, name string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), helperEnv+"="+name)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(out)
+	if !sc.Scan() {
+		t.Fatalf("agent helper %s printed no address: %v", name, sc.Err())
+	}
+	return sc.Text(), cmd
+}
+
+// signalStore wraps a store and closes a channel once `after` points have
+// been saved — the "mid-sweep" trigger for the kill.
+type signalStore struct {
+	inner exp.Store
+	after int64
+	saves atomic.Int64
+	once  sync.Once
+	ch    chan struct{}
+}
+
+func newSignalStore(inner exp.Store, after int) *signalStore {
+	return &signalStore{inner: inner, after: int64(after), ch: make(chan struct{})}
+}
+
+// Lookup delegates to the wrapped store.
+func (s *signalStore) Lookup(sweep string, i int) ([]byte, bool, error) {
+	return s.inner.Lookup(sweep, i)
+}
+
+// Save delegates, then fires the signal at the threshold.
+func (s *signalStore) Save(sweep string, i int, data []byte) error {
+	err := s.inner.Save(sweep, i, data)
+	if err == nil && s.saves.Add(1) >= s.after {
+		s.once.Do(func() { close(s.ch) })
+	}
+	return err
+}
+
+// SIGKILL one agent process mid-sweep: the fabric must requeue its lost
+// points onto the survivors and finish with output byte-identical to an
+// uninterrupted single-process run. This is the satellite acceptance test
+// for the PR: real processes, a real kill, real recovery.
+func TestFabricSurvivesKilledAgentProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real agent processes")
+	}
+	specs := testSpecs(48)
+	want := serialBaseline(t, specs)
+
+	var addrs []string
+	var victims []*exec.Cmd
+	for _, name := range []string{"pa", "pb", "pc"} {
+		addr, cmd := spawnAgentProcess(t, name)
+		addrs = append(addrs, addr)
+		victims = append(victims, cmd)
+	}
+
+	ckpt, err := checkpoint.OpenOrCreate(t.TempDir(), checkpoint.Meta{
+		Schema: checkpoint.SchemaVersion,
+		Seed:   3,
+		Sweep:  "unit",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newSignalStore(ckpt, 8)
+
+	// Kill agent "pb" once 8 points have been checkpointed — mid-sweep,
+	// with work in flight on the victim.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		<-store.ch
+		victims[1].Process.Kill()
+		victims[1].Wait()
+	}()
+
+	link := fastLink()
+	link.DialTimeout = time.Second
+	got, stats, err := Run(Config{Agents: addrs, Link: link, Store: store}, "unit", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+	assertSameBytes(t, want, got)
+	if stats.Completed+stats.Restored != len(specs) {
+		t.Errorf("completed %d + restored %d != %d points", stats.Completed, stats.Restored, len(specs))
+	}
+	if stats.Dead < 1 {
+		t.Errorf("stats = %+v, want the killed agent detected dead", stats)
+	}
+
+	// A rerun against the same checkpoint restores everything and ships
+	// the same bytes — kill-and-resume end to end.
+	again, stats2, err := Run(Config{Agents: []string{addrs[0], addrs[2]}, Link: link, Store: store}, "unit", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBytes(t, want, again)
+	if stats2.Restored != len(specs) {
+		t.Errorf("resume stats = %+v, want all %d restored", stats2, len(specs))
+	}
+}

@@ -1,0 +1,105 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"lingerlonger/internal/exp"
+	"lingerlonger/internal/obs"
+)
+
+// RunLocal executes specs in-process on a bounded worker pool — the
+// single-process reference execution a fabric run must reproduce byte for
+// byte. It shares the fabric's checkpoint format (raw task-output bytes
+// keyed by (sweep, index)), so a run started serially can be resumed on a
+// fabric and vice versa. workers <= 0 selects GOMAXPROCS; workers == 1 is
+// the serial reference order.
+func RunLocal(tasks *exp.Tasks, store exp.Store, workers int, sweep string, specs []exp.PointSpec, rec *obs.Recorder) ([][]byte, Stats, error) {
+	if tasks == nil {
+		return nil, Stats{}, fmt.Errorf("fabric: local run without a task registry")
+	}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, Stats{}, err
+		}
+		if spec.Index != i {
+			return nil, Stats{}, fmt.Errorf("fabric: spec at position %d has index %d", i, spec.Index)
+		}
+	}
+	var computed, restored atomic.Int64
+	results, err := exp.Map(workers, len(specs), func(i int) ([]byte, error) {
+		if store != nil {
+			data, ok, err := store.Lookup(sweep, i)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				restored.Add(1)
+				return data, nil
+			}
+		}
+		data, err := tasks.Run(specs[i])
+		if err != nil {
+			return nil, err
+		}
+		if store != nil {
+			if err := store.Save(sweep, i, data); err != nil {
+				return nil, err
+			}
+		}
+		computed.Add(1)
+		return data, nil
+	})
+	stats := Stats{
+		Completed: int(computed.Load()),
+		Restored:  int(restored.Load()),
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Mirror(rec)
+	return results, stats, nil
+}
+
+// ReportSchemaVersion pins the llsweep report layout.
+const ReportSchemaVersion = 1
+
+// Report is the deterministic output of a sweep run: identity fields plus
+// the per-point result documents in index order. It deliberately contains
+// no execution details (agent count, worker count, retries, restores,
+// wall-clock) — those all vary run to run, and the report's contract is
+// that its bytes are a pure function of (sweep, seed, quick).
+type Report struct {
+	SchemaVersion int               `json:"schemaVersion"`
+	Sweep         string            `json:"sweep"`
+	Seed          int64             `json:"seed"`
+	Quick         bool              `json:"quick"`
+	Points        []json.RawMessage `json:"points"`
+}
+
+// EncodeReport assembles the canonical report bytes from per-point results
+// (each already a JSON document, in index order).
+func EncodeReport(sweep string, seed int64, quick bool, results [][]byte) ([]byte, error) {
+	rep := Report{
+		SchemaVersion: ReportSchemaVersion,
+		Sweep:         sweep,
+		Seed:          seed,
+		Quick:         quick,
+		Points:        make([]json.RawMessage, len(results)),
+	}
+	for i, data := range results {
+		if !json.Valid(data) {
+			return nil, fmt.Errorf("fabric: point %d result is not valid JSON", i)
+		}
+		rep.Points[i] = json.RawMessage(data)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

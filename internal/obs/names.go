@@ -73,6 +73,15 @@ const (
 	ServeQueueDepth     = "serve.queue.depth"     // gauge
 	ServeRequestSeconds = "serve.request_seconds" // histogram
 
+	// Distributed sweep fabric (internal/fabric).
+	FabricPointsDispatched  = "fabric.points.dispatched"  // counter
+	FabricPointsCompleted   = "fabric.points.completed"   // counter
+	FabricPointsRestored    = "fabric.points.restored"    // counter
+	FabricPointsRequeued    = "fabric.points.requeued"    // counter
+	FabricAgentsSuspected   = "fabric.agents.suspected"   // counter
+	FabricAgentsDead        = "fabric.agents.dead"        // counter
+	FabricAgentsResurrected = "fabric.agents.resurrected" // counter
+
 	// Whole-process (set once by the CLI layer at exit).
 	RunWallSeconds = "run.wall_seconds" // gauge
 )
@@ -119,6 +128,13 @@ var Catalog = []Def{
 	{ServeDedupWaits, KindCounter, "requests coalesced onto an identical in-flight computation (singleflight dedup)"},
 	{ServeQueueDepth, KindGauge, "admission tickets currently held (requests queued or executing)"},
 	{ServeRequestSeconds, KindHistogram, "wall-clock HTTP request latency, seconds, per endpoint"},
+	{FabricPointsDispatched, KindCounter, "sweep points handed to a fabric slot worker (first dispatches and re-dispatches)"},
+	{FabricPointsCompleted, KindCounter, "unique sweep points completed by fabric agents"},
+	{FabricPointsRestored, KindCounter, "sweep points restored from the checkpoint store instead of dispatched"},
+	{FabricPointsRequeued, KindCounter, "dispatches returned to the fabric queue after a transient transport failure"},
+	{FabricAgentsSuspected, KindCounter, "fabric agent health transitions into the suspect state"},
+	{FabricAgentsDead, KindCounter, "fabric agent health transitions into the dead state"},
+	{FabricAgentsResurrected, KindCounter, "dead fabric agents brought back into rotation by a successful probe"},
 	{RunWallSeconds, KindGauge, "total wall-clock of the whole command run, seconds"},
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"lingerlonger/internal/exp"
 	"lingerlonger/internal/memory"
 	"lingerlonger/internal/obs"
 )
@@ -41,10 +42,23 @@ type Agent struct {
 	completed []Job       // finished jobs awaiting acknowledgment
 	revoked   map[int]Job // revoked job state awaiting acknowledgment
 
-	callMu   sync.Mutex // serializes Call; separate from mu (dispatch locks mu)
+	// Per-client-stream dedup caches. Each client stream (keyed by the
+	// request's Client ID; "" is the legacy single-connection stream) gets
+	// its own last-response cache and its own lock, so calls from distinct
+	// streams execute concurrently while calls within one stream keep the
+	// strict sequential at-most-once contract.
+	callMu  sync.Mutex // guards streams map access only
+	streams map[string]*callStream
+	dedupC  *obs.Counter // runtime.rpc.dedup_hits; nil = observability off
+
+	executor exp.TaskFunc // reqWork handler; nil = agent serves no work
+}
+
+// callStream is the at-most-once state of one client call stream.
+type callStream struct {
+	mu       sync.Mutex // serializes calls within the stream
 	lastSeq  uint64
 	lastResp response
-	dedupC   *obs.Counter // runtime.rpc.dedup_hits; nil = observability off
 }
 
 // SetRecorder attaches an observability recorder: Call increments the
@@ -63,8 +77,17 @@ func NewAgent(name string, owner OwnerSource, totalMB float64) *Agent {
 		owner:   owner,
 		pool:    memory.NewPool(totalMB, 4),
 		revoked: map[int]Job{},
+		streams: map[string]*callStream{},
 	}
 }
+
+// SetWorkExecutor attaches the task executor that answers reqWork calls —
+// typically the Run method of an exp.Tasks registry shared with the serial
+// sweep path. Executors must be pure functions of the PointSpec (the
+// remote-execution contract of internal/exp); an agent without an executor
+// rejects work requests with an agent-level (non-transient) error. Call
+// before serving.
+func (a *Agent) SetWorkExecutor(fn exp.TaskFunc) { a.executor = fn }
 
 // Name returns the agent's name.
 func (a *Agent) Name() string { return a.name }
@@ -251,22 +274,36 @@ func (a *Agent) Tick(dt float64) (AgentStatus, error) {
 
 // Call is the request-level entry point shared by the TCP server and the
 // in-process fault client. Requests with a non-zero sequence number get
-// at-most-once semantics: a request whose sequence matches the previous one
-// returns the cached response without re-executing (the retry of a call
-// whose reply was lost). Calls must be sequential per coordinator, which
-// the synchronous step loop guarantees.
+// at-most-once semantics per client stream: a request whose sequence
+// matches the stream's previous one returns the cached response without
+// re-executing (the retry of a call whose reply was lost). Calls must be
+// sequential within a stream — which each client's synchronous call loop
+// guarantees — while distinct streams proceed concurrently.
 func (a *Agent) Call(req request) response {
-	a.callMu.Lock()
-	defer a.callMu.Unlock()
-	if req.Seq != 0 && req.Seq == a.lastSeq {
+	st := a.stream(req.Client)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if req.Seq != 0 && req.Seq == st.lastSeq {
 		a.dedupC.Inc()
-		return a.lastResp
+		return st.lastResp
 	}
 	resp := a.dispatch(req)
 	if req.Seq != 0 {
-		a.lastSeq, a.lastResp = req.Seq, resp
+		st.lastSeq, st.lastResp = req.Seq, resp
 	}
 	return resp
+}
+
+// stream returns (creating if needed) the dedup state for one client ID.
+func (a *Agent) stream(client string) *callStream {
+	a.callMu.Lock()
+	defer a.callMu.Unlock()
+	st := a.streams[client]
+	if st == nil {
+		st = &callStream{}
+		a.streams[client] = st
+	}
+	return st
 }
 
 // dispatch executes one protocol request against the agent.
@@ -289,6 +326,18 @@ func (a *Agent) dispatch(req request) response {
 		resp.Err = errString(a.Pause(req.JobID, req.Paused))
 	case reqAck:
 		resp.Err = errString(a.Ack(req.Ack))
+	case reqWork:
+		if a.executor == nil {
+			resp.Err = fmt.Sprintf("runtime: agent %s serves no work (no executor attached)", a.name)
+			break
+		}
+		if req.Work == nil {
+			resp.Err = "runtime: work request without a point spec"
+			break
+		}
+		data, err := a.executor(*req.Work)
+		resp.Data = data
+		resp.Err = errString(err)
 	default:
 		resp.Err = fmt.Sprintf("runtime: unknown request kind %d", req.Kind)
 	}

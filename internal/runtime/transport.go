@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
 	"time"
@@ -35,17 +36,20 @@ const (
 	reqPause
 	reqName
 	reqAck
+	reqWork
 )
 
 // request is the coordinator-to-agent message.
 type request struct {
 	Seq    uint64 // logical-call sequence number for at-most-once retries
+	Client string // originating client stream; scopes the dedup cache
 	Kind   reqKind
 	Dt     float64
 	Job    *Job
 	JobID  int
 	Paused bool
 	Ack    []int
+	Work   *exp.PointSpec // reqWork: the sweep point to execute
 }
 
 // response is the agent-to-coordinator reply.
@@ -53,6 +57,7 @@ type response struct {
 	Status AgentStatus
 	Job    *Job
 	Name   string
+	Data   []byte // reqWork: the executed point's result bytes
 	Err    string
 }
 
@@ -135,6 +140,16 @@ type TCPClientConfig struct {
 	// Timeout is the per-RPC deadline; a call that exceeds it returns an
 	// error wrapping ErrAgentTimeout. Zero disables the deadline.
 	Timeout time.Duration
+	// DialTimeout bounds connection establishment (and every redial).
+	// Zero means the platform default (block until the stack gives up).
+	DialTimeout time.Duration
+	// ClientID names this client's logical call stream. Agents scope
+	// their at-most-once dedup cache per (ClientID) — distinct IDs never
+	// evict each other's cached replies — so a coordinator holding several
+	// concurrent connections to one agent (the fabric's per-slot clients)
+	// must give each connection a distinct ID. The empty ID is a valid
+	// stream of its own (the single-connection legacy coordinator).
+	ClientID string
 	// Retry bounds the internal retry loop around transient failures.
 	Retry RetryConfig
 	// Injector, when non-nil, decides the fate of each network attempt
@@ -174,19 +189,37 @@ func DialAgent(addr string) (*TCPClient, error) {
 	return DialAgentConfig(addr, DefaultTCPClientConfig())
 }
 
+// clientJitterSeed derives the backoff-jitter RNG seed for one client
+// stream. Folding in (addr, clientID) gives every client its own stream
+// even when many clients share one RetryConfig.Seed (the fabric hands all
+// slot clients the same LinkConfig): with a shared stream, concurrent
+// clients would race for draws and their sleep schedule would depend on
+// goroutine interleaving; with per-client streams each client's jitter is
+// a pure function of (seed, addr, clientID).
+func clientJitterSeed(seed int64, addr, clientID string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	h.Write([]byte{'/'})
+	h.Write([]byte(clientID))
+	return exp.DeriveSeed(seed^int64(h.Sum64()), 0)
+}
+
 // DialAgentConfig connects to an AgentServer at addr.
 func DialAgentConfig(addr string, cfg TCPClientConfig) (*TCPClient, error) {
 	c := &TCPClient{
 		addr: addr,
 		cfg:  cfg,
-		rng:  stats.NewRNG(exp.DeriveSeed(cfg.Retry.Seed, 0)),
+		rng:  stats.NewRNG(clientJitterSeed(cfg.Retry.Seed, addr, cfg.ClientID)),
 	}
 	if err := c.redial(); err != nil {
 		return nil, err
 	}
 	// The name handshake bypasses fault injection: the seam models the
-	// steady-state network, not cluster bring-up.
-	resp, err := c.exchange(request{Seq: c.nextSeq(), Kind: reqName})
+	// steady-state network, not cluster bring-up. It carries the client ID
+	// so a fresh client reusing an ID (a fabric slot reconnecting) lands
+	// its seq-1 handshake in its own dedup stream and resets it — without
+	// this, a restarted sequence could collide with a stale cached reply.
+	resp, err := c.exchange(request{Seq: c.nextSeq(), Kind: reqName, Client: cfg.ClientID})
 	if err != nil {
 		c.dropConn()
 		return nil, err
@@ -202,7 +235,7 @@ func (c *TCPClient) nextSeq() uint64 {
 
 // redial (re)establishes the connection.
 func (c *TCPClient) redial() error {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("runtime: dial %s: %v: %w", c.addr, err, ErrAgentDown)
 	}
@@ -269,6 +302,7 @@ func (c *TCPClient) target() string {
 // cache guarantees at-most-once execution.
 func (c *TCPClient) call(req request) (response, error) {
 	req.Seq = c.nextSeq()
+	req.Client = c.cfg.ClientID
 	return invokeRetry(c.cfg.Retry, c.rng, c.cfg.Counters, func() (response, error) {
 		action := FaultNone
 		if c.cfg.Injector != nil {
@@ -341,6 +375,25 @@ func (c *TCPClient) Pause(jobID int, paused bool) error {
 // Ack clears the remote agent's completion/revocation staging for ids.
 func (c *TCPClient) Ack(ids []int) error {
 	_, err := c.call(request{Kind: reqAck, Ack: ids})
+	return err
+}
+
+// Work executes one sweep point on the remote agent and returns its result
+// bytes. The call gets the same at-most-once treatment as every other
+// operation: retried attempts carry the same sequence number, so a reply
+// lost in transit is replayed from the agent's dedup cache rather than
+// recomputed. (Even a cross-client duplicate execution would be harmless —
+// tasks are pure — but the cache keeps the common retry cheap.)
+func (c *TCPClient) Work(spec exp.PointSpec) ([]byte, error) {
+	resp, err := c.call(request{Kind: reqWork, Work: &spec})
+	return resp.Data, err
+}
+
+// Ping performs a no-op round trip through the full fault path (injector,
+// deadline, retry) — the health probe the fabric uses to decide whether a
+// suspect or dead agent has come back. Unlike Tick it mutates nothing.
+func (c *TCPClient) Ping() error {
+	_, err := c.call(request{Kind: reqName})
 	return err
 }
 
