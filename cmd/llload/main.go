@@ -7,7 +7,7 @@
 //
 //	llload -url http://127.0.0.1:8080 [-requests 200] [-concurrency 8]
 //	       [-mix decide=1,node=1,cluster=1] [-distinct 8] [-seed 1]
-//	       [-cluster-scale 1] [-version]
+//	       [-cluster-scale 1] [-targets URL1,URL2,...] [-version]
 //
 // Request i of the run is a pure function of (seed, i): its endpoint is
 // drawn from the -mix weights and its parameters from one of -distinct
@@ -17,6 +17,15 @@
 // against deterministic servers must print the same digest, whatever the
 // concurrency: that is the service's cached == fresh contract, checked
 // end to end (CI runs llload twice, cold then warm, and compares).
+//
+// -targets spreads the run across a replica set (default: just -url).
+// Request i's target is itself a pure function of (seed, i), and a
+// request whose target fails at the transport level retries on the next
+// target in deterministic order (up to one attempt per target), so a
+// run against N replicas — even one losing a replica mid-run — prints
+// the same resultDigest as a single-replica run. That is the sharded
+// cluster's byte-identity contract (DESIGN.md §16), and CI's ring smoke
+// job enforces it, SIGKILL included.
 //
 // Exit codes: 0 on success (even with failed requests — the summary
 // reports them), 1 on runtime failure, 2 on usage errors.
@@ -95,6 +104,34 @@ func endpointPath(endpoint string) string {
 	return "/v1/simulate/" + endpoint
 }
 
+// parseTargets parses the -targets list, falling back to the single
+// -url when empty. Entries are trimmed; blanks are dropped; trailing
+// slashes are stripped so "http://h:p/" and "http://h:p" are one target.
+func parseTargets(s, fallback string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{strings.TrimRight(fallback, "/")}
+	}
+	return out
+}
+
+// pickTarget selects request i's target index among n, deterministically:
+// a second-level DeriveSeed split keeps the choice independent of the
+// request-parameter stream (genRequest consumes DeriveSeed(seed, i)
+// directly), so adding -targets never changes which requests are sent —
+// only where. Failover walks (pick+1)%n, (pick+2)%n, ... in order.
+func pickTarget(seed int64, i, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return stats.NewRNG(exp.DeriveSeed(exp.DeriveSeed(seed, i), 1)).Intn(n)
+}
+
 // genRequest derives request i of the run: endpoint from the mix weights,
 // parameters from one of `distinct` variants. Everything is drawn from an
 // RNG seeded with DeriveSeed(seed, i), so the request stream is a pure
@@ -154,11 +191,13 @@ type outcome struct {
 	bodyHash [32]byte
 	latency  float64
 	err      bool
+	target   int // index into targets of the replica that answered
 }
 
 // summary is the JSON report printed to stdout.
 type summary struct {
 	URL            string         `json:"url"`
+	Targets        []string       `json:"targets,omitempty"`
 	Seed           int64          `json:"seed"`
 	Requests       int            `json:"requests"`
 	Concurrency    int            `json:"concurrency"`
@@ -171,6 +210,7 @@ type summary struct {
 	LatencySeconds latencySummary `json:"latencySeconds"`
 	ResultDigest   string         `json:"resultDigest"`
 	ByEndpoint     map[string]int `json:"byEndpoint"`
+	ByTarget       map[string]int `json:"byTarget,omitempty"`
 }
 
 type latencySummary struct {
@@ -192,6 +232,7 @@ func realMain() error {
 		distinct    = flag.Int("distinct", 8, "distinct parameter variants per endpoint (small = cache-friendly)")
 		seed        = flag.Int64("seed", 1, "request-stream seed")
 		scale       = flag.Int("cluster-scale", 1, "multiplier on cluster request size (heavier per-miss cost)")
+		targetsSpec = flag.String("targets", "", "comma-separated replica base URLs; requests spread deterministically (default: -url)")
 	)
 	flag.Parse()
 	if cli.VersionRequested() {
@@ -220,6 +261,7 @@ func realMain() error {
 	for _, m := range mix {
 		totalWeight += m.weight
 	}
+	targets := parseTargets(*targetsSpec, *baseURL)
 
 	client := &http.Client{Timeout: 60 * time.Second}
 	outcomes := make([]outcome, *requests)
@@ -240,21 +282,34 @@ func realMain() error {
 				endpoint, body := genRequest(*seed, i, mix, totalWeight, *distinct, *scale)
 				endpoints[i] = endpoint
 				t0 := time.Now()
-				resp, err := client.Post(*baseURL+endpointPath(endpoint), "application/json", bytes.NewReader(body))
-				if err != nil {
+				// Request i starts at its deterministic target; a transport
+				// failure (dial refused, connection dropped mid-read) fails
+				// over to the next target in order, one attempt per target.
+				// Replicas answer with identical bytes, so failover preserves
+				// the digest — only byTarget shifts.
+				first := pickTarget(*seed, i, len(targets))
+				answered := false
+				for a := 0; a < len(targets) && !answered; a++ {
+					target := (first + a) % len(targets)
+					resp, err := client.Post(targets[target]+endpointPath(endpoint), "application/json", bytes.NewReader(body))
+					if err != nil {
+						continue
+					}
+					data, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if rerr != nil {
+						continue
+					}
+					outcomes[i] = outcome{
+						status:   resp.StatusCode,
+						bodyHash: sha256.Sum256(data),
+						latency:  time.Since(t0).Seconds(),
+						target:   target,
+					}
+					answered = true
+				}
+				if !answered {
 					outcomes[i] = outcome{err: true, latency: time.Since(t0).Seconds()}
-					continue
-				}
-				data, rerr := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if rerr != nil {
-					outcomes[i] = outcome{err: true, status: resp.StatusCode, latency: time.Since(t0).Seconds()}
-					continue
-				}
-				outcomes[i] = outcome{
-					status:   resp.StatusCode,
-					bodyHash: sha256.Sum256(data),
-					latency:  time.Since(t0).Seconds(),
 				}
 			}
 		}()
@@ -269,12 +324,14 @@ func realMain() error {
 	sum := summary{
 		URL:          *baseURL,
 		Seed:         *seed,
+		Targets:      targets,
 		Requests:     *requests,
 		Concurrency:  *concurrency,
 		Mix:          *mixSpec,
 		Distinct:     *distinct,
 		StatusCounts: map[string]int{},
 		ByEndpoint:   map[string]int{},
+		ByTarget:     map[string]int{},
 		WallSeconds:  wall,
 	}
 	latencies := make([]float64, 0, *requests)
@@ -289,6 +346,7 @@ func realMain() error {
 			dig.Write(idx[:])
 			dig.Write(o.bodyHash[:])
 			sum.StatusCounts[strconv.Itoa(o.status)]++
+			sum.ByTarget[targets[o.target]]++
 		}
 		sum.ByEndpoint[endpoints[i]]++
 		latencies = append(latencies, o.latency)

@@ -10,8 +10,19 @@
 //
 //	llserve [-addr 127.0.0.1:8080] [-workers N] [-queue 64]
 //	        [-cache-entries 1024] [-timeout 30s] [-drain 10s]
+//	        [-peers A,B,C] [-self ADDR] [-ring-vnodes 64]
 //	        [-metrics FILE] [-events FILE] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-version]
+//
+// With -peers, the replica joins a consistent-hash serving cluster
+// (DESIGN.md §16): cacheable requests are routed to the replica owning
+// their content-address, non-owners forward with one hop, and dead
+// replicas' key ranges fail over to ring successors. -self is this
+// replica's advertised address (default -addr) and must appear in
+// -peers; the transport/health budgets come from the fabric link flags
+// (-dial-timeout, -call-timeout, -retries, -retry-base, -retry-max,
+// -health-interval, -suspect-after, -dead-after, -inflight), the same
+// surface llsweep uses.
 //
 // SIGINT/SIGTERM drains gracefully: /readyz flips to 503, in-flight
 // requests complete (up to -drain), then the process exits 0.
@@ -28,10 +39,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"lingerlonger/internal/cli"
+	"lingerlonger/internal/fabric"
 	"lingerlonger/internal/serve"
 )
 
@@ -50,7 +63,12 @@ func realMain() (err error) {
 		entries = flag.Int("cache-entries", 1024, "result cache capacity (0 disables storage)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
+		peers   = flag.String("peers", "", "comma-separated replica addresses (including this one); empty = single-replica mode")
+		self    = flag.String("self", "", "this replica's advertised address in -peers (default -addr)")
+		vnodes  = flag.Int("ring-vnodes", 0, "virtual nodes per replica on the routing ring (0 selects the default)")
 	)
+	link := fabric.DefaultLinkConfig()
+	link.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if cli.VersionRequested() {
 		return cli.PrintVersion("llserve")
@@ -81,6 +99,25 @@ func realMain() (err error) {
 	cfg.CacheEntries = *entries
 	cfg.RequestTimeout = *timeout
 	cfg.Rec = o.Recorder()
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		advertised := *self
+		if advertised == "" {
+			advertised = *addr
+		}
+		cluster := &serve.ClusterConfig{Self: advertised, Peers: list, VNodes: *vnodes, Link: link}
+		if err := cluster.Validate(); err != nil {
+			return cli.Usagef("%v", err)
+		}
+		cfg.Cluster = cluster
+	} else if *self != "" || *vnodes != 0 {
+		return cli.Usagef("-self and -ring-vnodes require -peers")
+	}
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return err

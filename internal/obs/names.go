@@ -73,6 +73,20 @@ const (
 	ServeQueueDepth     = "serve.queue.depth"     // gauge
 	ServeRequestSeconds = "serve.request_seconds" // histogram
 
+	// Consistent-hash replica ring (llserve cluster mode; the ring
+	// arithmetic lives in internal/ring, the counters in internal/serve).
+	RingEpoch       = "ring.epoch"        // gauge
+	RingMembersLive = "ring.members.live" // gauge
+	RingFailovers   = "ring.failovers"    // counter
+	RingRejoins     = "ring.rejoins"      // counter
+
+	// Cross-replica request proxying (internal/serve cluster mode).
+	ServeProxySent      = "serve.proxy.sent"      // counter
+	ServeProxyServed    = "serve.proxy.served"    // counter
+	ServeProxyErrors    = "serve.proxy.errors"    // counter
+	ServeProxyFallbacks = "serve.proxy.fallbacks" // counter
+	ServeProxyRejects   = "serve.proxy.rejects"   // counter
+
 	// Distributed sweep fabric (internal/fabric).
 	FabricPointsDispatched  = "fabric.points.dispatched"  // counter
 	FabricPointsCompleted   = "fabric.points.completed"   // counter
@@ -128,6 +142,15 @@ var Catalog = []Def{
 	{ServeDedupWaits, KindCounter, "requests coalesced onto an identical in-flight computation (singleflight dedup)"},
 	{ServeQueueDepth, KindGauge, "admission tickets currently held (requests queued or executing)"},
 	{ServeRequestSeconds, KindHistogram, "wall-clock HTTP request latency, seconds, per endpoint"},
+	{RingEpoch, KindGauge, "current ring epoch: the replica's version of the live set, raised on every liveness transition and by adoption from peers"},
+	{RingMembersLive, KindGauge, "replicas this process currently routes to (live ring members, including itself)"},
+	{RingFailovers, KindCounter, "replicas removed from the routing ring after being declared dead (their key ranges fail over to ring successors)"},
+	{RingRejoins, KindCounter, "dead replicas re-admitted to the routing ring by a successful probe"},
+	{ServeProxySent, KindCounter, "requests forwarded to the key's owning replica (one hop, never chained)"},
+	{ServeProxyServed, KindCounter, "proxied requests accepted from a peer replica and answered locally"},
+	{ServeProxyErrors, KindCounter, "proxy attempts that failed (transport error, timeout, or non-200 peer answer)"},
+	{ServeProxyFallbacks, KindCounter, "requests computed locally after proxying to the owner failed or was skipped (owner unhealthy)"},
+	{ServeProxyRejects, KindCounter, "incoming proxied requests rejected with 421 (ring digest mismatch or stale ring epoch)"},
 	{FabricPointsDispatched, KindCounter, "sweep points handed to a fabric slot worker (first dispatches and re-dispatches)"},
 	{FabricPointsCompleted, KindCounter, "unique sweep points completed by fabric agents"},
 	{FabricPointsRestored, KindCounter, "sweep points restored from the checkpoint store instead of dispatched"},

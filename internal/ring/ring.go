@@ -1,0 +1,275 @@
+// Package ring implements the consistent-hash replica ring behind
+// llserve's cluster mode (DESIGN.md §16): a fixed member set is expanded
+// into virtual nodes on a hash circle, every content-addressed cache key
+// is owned by the first *live* member clockwise from the key's hash, and
+// a per-process epoch counter versions the live set so peers can detect
+// (and reject) requests routed under an older view of the ring.
+//
+// The package is deliberately pure: a Ring never dials, probes, or reads
+// a clock. Ownership is a function of (members, vnodes, live set) and
+// nothing else, which is what makes the routing property testable — two
+// rings built from the same members that observed the same liveness
+// transitions answer Owner identically for every key, forever. The serve
+// layer wraps a Ring with its health tracking and locking; this package
+// owns only the arithmetic.
+//
+// Consistent hashing gives the two properties the sharded cache needs:
+//
+//   - Balance: with V virtual nodes per member the expected share of the
+//     key space per member is 1/N with relative deviation O(1/sqrt(V)).
+//   - Stability: removing a member moves only the keys that member owned
+//     (they fall to ring successors); every other key keeps its owner.
+//     Adding a member moves only ~1/(N+1) of the keys (onto the new
+//     member). Join/leave can never reshuffle unrelated key ranges.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count used when a
+// configuration leaves it zero. 64 points per member keeps the maximum
+// member share within ~25% of the mean for small clusters (the relative
+// imbalance shrinks like 1/sqrt(V)) while the full point array for a
+// 64-replica ring still fits in two cache lines' worth of pages.
+const DefaultVirtualNodes = 64
+
+// point is one virtual node: a position on the hash circle and the index
+// of the member that owns it.
+type point struct {
+	hash   uint64
+	member int
+}
+
+// Ring is a consistent-hash ring over a fixed member set with a mutable
+// live set and an epoch counter versioning that live set. It is not
+// safe for concurrent use; callers (the serve router) hold their own
+// lock. The zero value is not usable; construct with New.
+type Ring struct {
+	members []string // sorted, unique
+	vnodes  int
+	points  []point // sorted by hash
+	live    []bool  // parallel to members
+	nLive   int
+	epoch   uint64
+	digest  string
+}
+
+// New builds a ring over members (order-insensitive; duplicates are
+// rejected) with vnodes virtual nodes per member (0 selects
+// DefaultVirtualNodes). Every member starts live and the epoch starts
+// at zero.
+func New(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ring: no members")
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if vnodes < 1 || vnodes > 4096 {
+		return nil, fmt.Errorf("ring: vnodes must be in [1, 4096], got %d", vnodes)
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("ring: empty member address")
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("ring: duplicate member %q", m)
+		}
+	}
+	r := &Ring{
+		members: sorted,
+		vnodes:  vnodes,
+		points:  make([]point, 0, len(sorted)*vnodes),
+		live:    make([]bool, len(sorted)),
+		nLive:   len(sorted),
+	}
+	for i, m := range sorted {
+		r.live[i] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hashString(fmt.Sprintf("%s#%d", m, v)), member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A full 64-bit hash collision between virtual nodes is
+		// astronomically unlikely, but the tie-break must still be
+		// deterministic: lower member index wins.
+		return r.points[a].member < r.points[b].member
+	})
+	r.digest = computeDigest(sorted, vnodes)
+	return r, nil
+}
+
+// hashString maps a string to a position on the 64-bit hash circle. The
+// first eight bytes of the SHA-256 keep the ring aligned with the
+// content-address scheme the cache keys already use (serve.CacheKey) and
+// spread virtual nodes uniformly regardless of member-name structure.
+func hashString(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// computeDigest fingerprints the ring *configuration* (members and
+// vnodes, not liveness): two replicas can only exchange proxied requests
+// when their digests match, so a misconfigured peer list fails loudly
+// instead of routing keys to the wrong owner.
+func computeDigest(sorted []string, vnodes int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d", vnodes)
+	for _, m := range sorted {
+		h.Write([]byte{0})
+		h.Write([]byte(m))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// Members returns the sorted member list (shared slice; do not mutate).
+func (r *Ring) Members() []string { return r.members }
+
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Digest identifies the ring configuration (members + vnodes). Proxied
+// requests carry it so replicas with different peer lists reject each
+// other instead of silently disagreeing about ownership.
+func (r *Ring) Digest() string { return r.digest }
+
+// Epoch returns the current live-set version. It increases on every
+// effective liveness transition and via AdvanceEpoch, never decreases,
+// and identifies which view of the ring a routing decision used.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// LiveCount returns the number of live members.
+func (r *Ring) LiveCount() int { return r.nLive }
+
+// index returns member's position, or -1 if it is not a ring member.
+func (r *Ring) index(member string) int {
+	i := sort.SearchStrings(r.members, member)
+	if i < len(r.members) && r.members[i] == member {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether member is part of the ring configuration
+// (live or not).
+func (r *Ring) Contains(member string) bool { return r.index(member) >= 0 }
+
+// Live reports whether member is currently live. Unknown members are
+// never live.
+func (r *Ring) Live(member string) bool {
+	i := r.index(member)
+	return i >= 0 && r.live[i]
+}
+
+// SetLive marks member live or dead and reports whether the live set
+// actually changed. An effective transition bumps the epoch: keys owned
+// by a member going dead fall to their ring successors, and a member
+// coming back reclaims its ranges — either way, every replica that
+// learns of the new epoch stops trusting routing (and epoch-prefixed
+// cache entries) from the old view. Unknown members are ignored.
+func (r *Ring) SetLive(member string, live bool) bool {
+	i := r.index(member)
+	if i < 0 || r.live[i] == live {
+		return false
+	}
+	r.live[i] = live
+	if live {
+		r.nLive++
+	} else {
+		r.nLive--
+	}
+	r.epoch++
+	return true
+}
+
+// AdvanceEpoch raises the epoch to at least e (max-merge) and reports
+// whether it moved. Replicas adopt higher epochs learned from peers —
+// via proxy responses, rejections, or probes — so a restarted or
+// formerly partitioned replica catches up instead of serving bytes
+// cached under a view of the ring the cluster has already abandoned.
+func (r *Ring) AdvanceEpoch(e uint64) bool {
+	if e <= r.epoch {
+		return false
+	}
+	r.epoch = e
+	return true
+}
+
+// Owner returns the live member owning key: the member of the first live
+// virtual node clockwise from the key's hash. ok is false only when no
+// member is live (callers that keep themselves live can never see it).
+func (r *Ring) Owner(key string) (owner string, ok bool) {
+	if r.nLive == 0 {
+		return "", false
+	}
+	h := hashString(key)
+	// First point with hash >= h, wrapping past the top of the circle.
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for off := 0; off < len(r.points); off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if r.live[p.member] {
+			return r.members[p.member], true
+		}
+	}
+	return "", false
+}
+
+// Successors returns up to n distinct live members in ring order
+// starting at key's owner. It is the failover order: if the owner is
+// lost, index 1 is the member its range falls to.
+func (r *Ring) Successors(key string, n int) []string {
+	if n <= 0 || r.nLive == 0 {
+		return nil
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for off := 0; off < len(r.points) && len(out) < n; off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if r.live[p.member] && !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// MemberState is one member's entry in a Snapshot.
+type MemberState struct {
+	Addr string `json:"addr"`
+	Live bool   `json:"live"`
+}
+
+// Snapshot is the JSON-friendly view of a ring that /ringz serves.
+type Snapshot struct {
+	Digest  string        `json:"digest"`
+	Epoch   uint64        `json:"epoch"`
+	VNodes  int           `json:"vnodes"`
+	Live    int           `json:"live"`
+	Members []MemberState `json:"members"`
+}
+
+// Snapshot captures the ring's current configuration and liveness.
+func (r *Ring) Snapshot() Snapshot {
+	s := Snapshot{
+		Digest:  r.digest,
+		Epoch:   r.epoch,
+		VNodes:  r.vnodes,
+		Live:    r.nLive,
+		Members: make([]MemberState, len(r.members)),
+	}
+	for i, m := range r.members {
+		s.Members[i] = MemberState{Addr: m, Live: r.live[i]}
+	}
+	return s
+}

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"lingerlonger/internal/core"
+	"lingerlonger/internal/fabric"
+	"lingerlonger/internal/obs"
+	"lingerlonger/internal/ring"
+)
+
+// Cluster mode (DESIGN.md §16): N llserve replicas behave as one big
+// content-addressed cache. The canonical cache key (serve.CacheKey — the
+// same digest single-replica mode uses) is routed on a consistent-hash
+// ring to the replica owning that key range; the owner computes-or-serves
+// from its sharded LRU, non-owners forward with exactly one hop, and a
+// dead replica's ranges fail over to its ring successors. Because every
+// response is a pure function of the canonical request, routing changes
+// *where* a result is computed, never *what* bytes come back — the
+// determinism proof obligation every layer of this repository carries.
+
+// ClusterConfig configures one replica of a sharded llserve cluster.
+type ClusterConfig struct {
+	// Self is this replica's advertised address, as it appears in Peers.
+	Self string
+	// Peers is the full replica set (including Self), identical on every
+	// replica — the ring digest seals that: replicas with different peer
+	// lists refuse each other's proxied requests.
+	Peers []string
+	// VNodes is the virtual-node count per replica (0 selects
+	// ring.DefaultVirtualNodes).
+	VNodes int
+	// Link is the dial/call/retry/health surface for the replica ring —
+	// the same typed config the sweep fabric uses (fabric.LinkConfig), so
+	// llserve and llsweep share one set of transport flags. The zero
+	// value selects fabric.DefaultLinkConfig.
+	Link fabric.LinkConfig
+}
+
+// Validate checks the cluster configuration.
+func (c ClusterConfig) Validate() error {
+	if c.Self == "" {
+		return fmt.Errorf("serve: cluster Self is empty")
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.Self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("serve: cluster Self %q is not in Peers %v", c.Self, c.Peers)
+	}
+	return c.Link.Validate()
+}
+
+// ErrMisdirected marks an incoming proxied request rejected by the ring
+// protocol: the sender's ring digest does not match (different peer
+// lists) or its ring epoch is older than this replica's (it routed on a
+// live set the cluster has already moved past). The HTTP layer answers
+// 421 Misdirected Request with this replica's epoch attached, and the
+// sender adopts the newer epoch, re-routes once, or computes locally —
+// it never retries the stale route.
+var ErrMisdirected = errors.New("misdirected proxied request")
+
+// errProxyFailed is the internal signal that every proxy attempt failed
+// and the caller should compute locally. It never reaches a client.
+var errProxyFailed = errors.New("serve: proxy failed")
+
+// ProxyMeta is the ring protocol state carried by a proxied request's
+// headers: the sender's ring-configuration digest and its ring epoch.
+type ProxyMeta struct {
+	Digest string
+	Epoch  uint64
+}
+
+// Proxy protocol headers. X-Linger-Ring-Epoch doubles as a response
+// header: every response from a clustered replica carries its current
+// epoch, so peers converge on the newest view with no extra round trips.
+const (
+	HeaderProxy      = "X-Linger-Proxy"       // "1" on proxied requests
+	HeaderRingDigest = "X-Linger-Ring-Digest" // sender's ring config digest
+	HeaderRingEpoch  = "X-Linger-Ring-Epoch"  // sender's (or responder's) epoch
+)
+
+// router is the per-replica cluster state: the consistent-hash ring, one
+// §7 health tracker per peer, the proxy HTTP client, and the prober that
+// re-admits resurrected replicas. All ring and tracker access goes
+// through mu; network calls never hold it.
+type router struct {
+	self   string
+	link   fabric.LinkConfig
+	client *proxyClient
+
+	mu       sync.Mutex
+	ring     *ring.Ring
+	trackers map[string]*core.HealthTracker
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Pre-resolved metric handles (nil-safe when observability is off).
+	gEpoch    *obs.Gauge
+	gLive     *obs.Gauge
+	failovers *obs.Counter
+	rejoins   *obs.Counter
+	sent      *obs.Counter
+	served    *obs.Counter
+	proxyErrs *obs.Counter
+	fallbacks *obs.Counter
+	rejects   *obs.Counter
+}
+
+// newRouter builds the router and starts its resurrection prober.
+func newRouter(cfg ClusterConfig, rec *obs.Recorder) (*router, error) {
+	if (cfg.Link == fabric.LinkConfig{}) {
+		cfg.Link = fabric.DefaultLinkConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rg, err := ring.New(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	r := &router{
+		self:      cfg.Self,
+		link:      cfg.Link,
+		ring:      rg,
+		trackers:  make(map[string]*core.HealthTracker, len(cfg.Peers)),
+		stop:      make(chan struct{}),
+		gEpoch:    rec.Gauge(obs.RingEpoch),
+		gLive:     rec.Gauge(obs.RingMembersLive),
+		failovers: rec.Counter(obs.RingFailovers),
+		rejoins:   rec.Counter(obs.RingRejoins),
+		sent:      rec.Counter(obs.ServeProxySent),
+		served:    rec.Counter(obs.ServeProxyServed),
+		proxyErrs: rec.Counter(obs.ServeProxyErrors),
+		fallbacks: rec.Counter(obs.ServeProxyFallbacks),
+		rejects:   rec.Counter(obs.ServeProxyRejects),
+	}
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			r.trackers[p] = core.NewHealthTracker(cfg.Link.HealthPolicy())
+		}
+	}
+	r.client = newProxyClient(cfg.Link, rg.Digest())
+	r.gEpoch.Set(0)
+	r.gLive.Set(float64(rg.LiveCount()))
+	r.wg.Add(1)
+	go r.probeLoop()
+	return r, nil
+}
+
+// close stops the prober. Safe to call more than once.
+func (r *router) close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// epoch returns the replica's current ring epoch.
+func (r *router) epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Epoch()
+}
+
+// localKey prefixes key with the current ring epoch. Entries cached
+// under an older view of the ring become unreachable the moment the
+// epoch advances (and age out of the LRU), so a replica that rejoins
+// after a partition can never serve bytes it cached before the cluster
+// moved on — the "no stale bytes" half of the failover contract.
+// (Determinism already guarantees the bytes would be identical; the
+// epoch prefix makes the guarantee unconditional on that proof.)
+func (r *router) localKey(key string) string {
+	r.mu.Lock()
+	e := r.ring.Epoch()
+	r.mu.Unlock()
+	return "e" + strconv.FormatUint(e, 10) + "/" + key
+}
+
+// route decides what to do with a direct (non-proxied) request for key:
+// proxy it to owner, or compute locally. skipped reports that the key
+// has a remote owner but proxying was skipped because that owner is not
+// currently Healthy — the caller counts it as a fallback.
+func (r *router) route(key string) (owner string, doProxy, skipped bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.ring.Owner(key)
+	if !ok || o == r.self {
+		return "", false, false
+	}
+	if t := r.trackers[o]; t != nil && t.State() != core.Healthy {
+		// Suspect replicas take no new proxied work (the §7 rule); their
+		// ranges are computed locally until the prober clears them or the
+		// failure detector declares them dead and the range fails over.
+		return "", false, true
+	}
+	return o, true, false
+}
+
+// acceptProxy vets an incoming proxied request against the ring
+// protocol and adopts the sender's epoch when it is newer. A rejection
+// wraps ErrMisdirected (HTTP 421).
+func (r *router) acceptProxy(meta ProxyMeta) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if meta.Digest != r.ring.Digest() {
+		r.rejects.Inc()
+		return fmt.Errorf("%w: ring digest %q != %q (peer lists differ)",
+			ErrMisdirected, meta.Digest, r.ring.Digest())
+	}
+	if meta.Epoch < r.ring.Epoch() {
+		r.rejects.Inc()
+		return fmt.Errorf("%w: stale ring epoch %d < %d",
+			ErrMisdirected, meta.Epoch, r.ring.Epoch())
+	}
+	if r.ring.AdvanceEpoch(meta.Epoch) {
+		r.gEpoch.Set(float64(r.ring.Epoch()))
+	}
+	r.served.Inc()
+	return nil
+}
+
+// adoptEpoch max-merges an epoch learned from a peer's response.
+func (r *router) adoptEpoch(e uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ring.AdvanceEpoch(e) {
+		r.gEpoch.Set(float64(r.ring.Epoch()))
+	}
+}
+
+// observe feeds one proxy-call outcome into peer's failure detector.
+// The Dead transition removes the peer from the routing ring — its key
+// ranges fail over to ring successors — and bumps the epoch.
+func (r *router) observe(peer string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.trackers[peer]
+	if t == nil {
+		return
+	}
+	wasDead := t.State() == core.Dead
+	state := t.Observe(ok)
+	switch {
+	case state == core.Dead && !wasDead:
+		if r.ring.SetLive(peer, false) {
+			r.failovers.Inc()
+			r.gEpoch.Set(float64(r.ring.Epoch()))
+			r.gLive.Set(float64(r.ring.LiveCount()))
+		}
+	case ok && wasDead:
+		if r.ring.SetLive(peer, true) {
+			r.rejoins.Inc()
+			r.gEpoch.Set(float64(r.ring.Epoch()))
+			r.gLive.Set(float64(r.ring.LiveCount()))
+		}
+	}
+}
+
+// unhealthyPeers snapshots the peers the prober should probe.
+func (r *router) unhealthyPeers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for p, t := range r.trackers {
+		if t.State() != core.Healthy {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// probeLoop periodically re-probes unhealthy peers (GET /ringz through
+// the proxy client's dial/call budgets). A successful probe resets the
+// peer's failure detector; if the peer was Dead it rejoins the ring —
+// with a bumped epoch, so everything it cached while partitioned is
+// unreachable under the new view. The probe also returns the peer's
+// epoch, which is max-merged: a freshly restarted replica catches up to
+// the cluster's view on its first exchange instead of proxying stale.
+func (r *router) probeLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.link.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, peer := range r.unhealthyPeers() {
+			epoch, err := r.client.probe(peer)
+			r.observe(peer, err == nil)
+			if err == nil {
+				r.adoptEpoch(epoch)
+			}
+		}
+	}
+}
+
+// snapshot returns the /ringz body.
+func (r *router) snapshot() ringzBody {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := ringzBody{Self: r.self, Snapshot: r.ring.Snapshot()}
+	b.Health = make(map[string]string, len(r.trackers))
+	for p, t := range r.trackers {
+		b.Health[p] = t.State().String()
+	}
+	return b
+}
+
+// ringzBody is the GET /ringz response: the ring snapshot plus this
+// replica's identity and its failure detector's view of each peer.
+type ringzBody struct {
+	Self string `json:"self"`
+	ring.Snapshot
+	Health map[string]string `json:"health"`
+}

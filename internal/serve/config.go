@@ -69,6 +69,13 @@ type Config struct {
 	// Rec receives the serve.* metrics; nil disables them (handlers
 	// then pay one nil-check per site, like every other layer).
 	Rec *obs.Recorder
+
+	// Cluster, when non-nil, turns the replica into one shard of a
+	// consistent-hash serving cluster (DESIGN.md §16): cacheable
+	// requests are routed to the replica owning their content-address,
+	// non-owners proxy with a single hop, and dead replicas' key ranges
+	// fail over to ring successors. Nil is single-replica mode.
+	Cluster *ClusterConfig
 }
 
 // DefaultConfig returns the service defaults: 1 MiB bodies, GOMAXPROCS

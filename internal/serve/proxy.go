@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"lingerlonger/internal/fabric"
+	"lingerlonger/internal/stats"
+)
+
+// pathFor maps an endpoint name to its URL path (the inverse of the
+// routes registered in New).
+func pathFor(endpoint string) string {
+	if endpoint == EndpointDecide {
+		return "/v1/decide/linger"
+	}
+	return "/v1/simulate/" + endpoint
+}
+
+// proxyClient is the outbound half of the ring protocol: it forwards
+// canonicalized requests to owning replicas and probes unhealthy ones,
+// under the fabric.LinkConfig dial/call/retry budgets.
+type proxyClient struct {
+	http   *http.Client
+	link   fabric.LinkConfig
+	digest string
+
+	// jitterMu guards jitter, the seeded backoff stream. Jitter is
+	// wall-clock only: it spreads retry storms, it cannot affect bytes.
+	jitterMu sync.Mutex
+	jitter   *stats.RNG
+}
+
+// newProxyClient builds the client from the link config; digest is the
+// local ring's configuration fingerprint, attached to every call.
+func newProxyClient(link fabric.LinkConfig, digest string) *proxyClient {
+	dialer := &net.Dialer{Timeout: link.DialTimeout}
+	return &proxyClient{
+		http: &http.Client{
+			Transport: &http.Transport{
+				DialContext:         dialer.DialContext,
+				MaxIdleConnsPerHost: link.MaxInFlight,
+			},
+		},
+		link:   link,
+		digest: digest,
+		jitter: stats.NewRNG(link.Seed ^ 0x70726f7879), // "proxy"
+	}
+}
+
+// maxProxyBody bounds a proxied response read. Response bodies are JSON
+// summaries a few KiB long; 8 MiB is a generous safety margin.
+const maxProxyBody = 8 << 20
+
+// call POSTs body to peer's endpoint with the proxy headers attached and
+// returns the response bytes, the peer's ring epoch, and the status.
+// err != nil means transport-level failure (dial, deadline, read) — the
+// only kind that counts against the peer's failure detector.
+func (p *proxyClient) call(ctx context.Context, peer, endpoint string, epoch uint64, body []byte) (data []byte, peerEpoch uint64, status int, err error) {
+	if p.link.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.link.CallTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+peer+pathFor(endpoint), bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderProxy, "1")
+	req.Header.Set(HeaderRingDigest, p.digest)
+	req.Header.Set(HeaderRingEpoch, strconv.FormatUint(epoch, 10))
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	peerEpoch, _ = strconv.ParseUint(resp.Header.Get(HeaderRingEpoch), 10, 64)
+	return data, peerEpoch, resp.StatusCode, nil
+}
+
+// probe checks whether peer is serving again: GET /ringz under the dial
+// and call budgets. It returns the peer's current ring epoch on success.
+func (p *proxyClient) probe(peer string) (epoch uint64, err error) {
+	ctx := context.Background()
+	if p.link.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.link.CallTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/ringz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var body ringzBody
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, maxProxyBody)).Decode(&body); derr == nil {
+		epoch = body.Epoch
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("serve: probe %s: status %d", peer, resp.StatusCode)
+	}
+	return epoch, nil
+}
+
+// backoff sleeps the jittered exponential delay for attempt (0-based).
+// With RetryBase zero it returns immediately (the unit-test default).
+func (p *proxyClient) backoff(attempt int) {
+	if p.link.RetryBase <= 0 {
+		return
+	}
+	d := p.link.RetryBase << attempt
+	if p.link.RetryMax > 0 && d > p.link.RetryMax {
+		d = p.link.RetryMax
+	}
+	p.jitterMu.Lock()
+	f := 0.5 + 0.5*p.jitter.Float64()
+	p.jitterMu.Unlock()
+	time.Sleep(time.Duration(float64(d) * f))
+}
+
+// proxy forwards one canonicalized request for key to its owning
+// replica and returns the owner's exact response bytes. The contract:
+//
+//   - One hop, ever. The receiver either serves locally or rejects; it
+//     never re-proxies (respond only routes requests with no ProxyMeta).
+//   - Byte identity. A 200 body is returned verbatim — the bytes the
+//     owner computed (or cached) are the bytes our client gets, so a
+//     proxied answer is indistinguishable from a local one.
+//   - Bounded persistence. Transport failures retry up to the link's
+//     budget (feeding the failure detector each time); a 421 rejection
+//     adopts the peer's newer epoch and re-routes at most once; any
+//     other HTTP status falls back to local computation, because a live
+//     peer that answers 429/500 is telling us to stop asking.
+//
+// The error return is always errProxyFailed; the caller computes
+// locally, which determinism makes byte-equivalent.
+func (r *router) proxy(ctx context.Context, key, endpoint string, req any, owner string) ([]byte, error) {
+	r.sent.Inc()
+	body, err := json.Marshal(req)
+	if err != nil {
+		// Normalized requests always marshal; see CacheKey.
+		panic(fmt.Sprintf("serve: canonical encoding of %T failed: %v", req, err))
+	}
+	target := owner
+	rerouted := false
+	attempts := r.link.RetryAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		data, peerEpoch, status, err := r.client.call(ctx, target, endpoint, r.epoch(), body)
+		if err != nil {
+			r.proxyErrs.Inc()
+			if ctx.Err() != nil {
+				// Our client gave up or the request deadline passed; that
+				// says nothing about the peer's health.
+				return nil, errProxyFailed
+			}
+			r.observe(target, false)
+			r.client.backoff(attempt)
+			continue
+		}
+		// An HTTP answer of any status is proof of life.
+		r.observe(target, true)
+		if status == http.StatusOK {
+			r.adoptEpoch(peerEpoch)
+			return data, nil
+		}
+		r.proxyErrs.Inc()
+		if status == http.StatusMisdirectedRequest && !rerouted {
+			// The peer routed on a newer view. Adopt it and re-route once:
+			// if the key now belongs to someone else (possibly us), chase
+			// it; a second disagreement means the cluster is still
+			// converging and local computation is the safe answer.
+			r.adoptEpoch(peerEpoch)
+			rerouted = true
+			next, doProxy, _ := r.route(key)
+			if doProxy && next != target {
+				target = next
+				continue
+			}
+		}
+		return nil, errProxyFailed
+	}
+	return nil, errProxyFailed
+}

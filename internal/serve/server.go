@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,9 +25,11 @@ type Server struct {
 	cache    *cache
 	adm      *admission
 	runner   *exp.Runner // panic isolation + watchdog for every simulation
+	cluster  *router     // consistent-hash routing across replicas; nil = single
 	mux      *http.ServeMux
 	registry *obs.Registry // /metrics source; may be nil
 	draining atomic.Bool
+	httpMu   sync.Mutex // guards http: Serve and Shutdown may race
 	http     *http.Server
 
 	// Pre-resolved metric handles (nil-safe when cfg.Rec is nil).
@@ -61,6 +64,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Rec != nil {
 		s.registry = cfg.Rec.Registry()
 	}
+	if cfg.Cluster != nil {
+		r, err := newRouter(*cfg.Cluster, cfg.Rec)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = r
+		s.mux.HandleFunc("/ringz", s.handleRingz)
+	}
 	s.mux.HandleFunc("/v1/simulate/cluster", s.simulationHandler(EndpointCluster))
 	s.mux.HandleFunc("/v1/simulate/node", s.simulationHandler(EndpointNode))
 	s.mux.HandleFunc("/v1/decide/linger", s.simulationHandler(EndpointDecide))
@@ -77,8 +88,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // http.Server.Serve: the returned error is http.ErrServerClosed after a
 // clean shutdown.
 func (s *Server) Serve(ln net.Listener) error {
-	s.http = &http.Server{Handler: s.mux}
-	return s.http.Serve(ln)
+	s.httpMu.Lock()
+	srv := s.http
+	if srv == nil {
+		srv = &http.Server{Handler: s.mux}
+		s.http = srv
+	}
+	s.httpMu.Unlock()
+	return srv.Serve(ln)
 }
 
 // Shutdown drains the server: readiness flips to 503 immediately (so load
@@ -87,10 +104,16 @@ func (s *Server) Serve(ln net.Listener) error {
 // cmd/llserve.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	if s.http == nil {
+	if s.cluster != nil {
+		s.cluster.close()
+	}
+	s.httpMu.Lock()
+	srv := s.http
+	s.httpMu.Unlock()
+	if srv == nil {
 		return nil
 	}
-	return s.http.Shutdown(ctx)
+	return srv.Shutdown(ctx)
 }
 
 // Draining reports whether Shutdown has begun.
@@ -151,10 +174,24 @@ func (s *Server) simulationHandler(endpoint string) http.HandlerFunc {
 		}
 		cReq.Inc()
 
-		resp, _, err := s.respond(r.Context(), endpoint, req)
+		var via *ProxyMeta
+		if s.cluster != nil && r.Header.Get(HeaderProxy) != "" {
+			epoch, _ := strconv.ParseUint(r.Header.Get(HeaderRingEpoch), 10, 64)
+			via = &ProxyMeta{Digest: r.Header.Get(HeaderRingDigest), Epoch: epoch}
+		}
+
+		resp, _, err := s.respond(r.Context(), endpoint, req, via)
+		if s.cluster != nil {
+			// Every clustered response advertises this replica's ring
+			// epoch; peers max-merge it, which is how the cluster
+			// converges on the newest live-set view.
+			w.Header().Set(HeaderRingEpoch, strconv.FormatUint(s.cluster.epoch(), 10))
+		}
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusOK, resp)
+		case errors.Is(err, ErrMisdirected):
+			writeError(w, http.StatusMisdirectedRequest, err.Error())
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
 			writeError(w, http.StatusTooManyRequests, "admission queue full")
@@ -176,9 +213,15 @@ func (s *Server) simulationHandler(endpoint string) http.HandlerFunc {
 // inline (it is a handful of float ops), the simulations through the
 // cache, the singleflight layer and the admission queue, with the actual
 // run wrapped in the exp runner for panic isolation and the watchdog
-// deadline.
-func (s *Server) respond(ctx context.Context, endpoint string, req any) ([]byte, bool, error) {
+// deadline. In cluster mode the cacheable endpoints are first routed on
+// the consistent-hash ring: the owner of the request's content-address
+// computes-or-serves it, non-owners forward with one hop (via == nil) or
+// serve an already-forwarded request locally (via != nil, never
+// re-proxied — that is the single-hop guarantee).
+func (s *Server) respond(ctx context.Context, endpoint string, req any, via *ProxyMeta) ([]byte, bool, error) {
 	if endpoint == EndpointDecide {
+		// The decision is a handful of float ops — cheaper than any hop,
+		// so every replica answers it inline, proxied or not.
 		if s.testHookCompute != nil {
 			s.testHookCompute(endpoint)
 		}
@@ -186,9 +229,38 @@ func (s *Server) respond(ctx context.Context, endpoint string, req any) ([]byte,
 		return body, false, err
 	}
 	key := CacheKey(endpoint, req)
+	if s.cluster == nil {
+		return s.localRespond(ctx, endpoint, req, key)
+	}
+	if via != nil {
+		if err := s.cluster.acceptProxy(*via); err != nil {
+			return nil, false, err
+		}
+		return s.localRespond(ctx, endpoint, req, s.cluster.localKey(key))
+	}
+	owner, doProxy, skipped := s.cluster.route(key)
+	if doProxy {
+		if body, err := s.cluster.proxy(ctx, key, endpoint, req, owner); err == nil {
+			return body, false, nil
+		}
+		skipped = true
+	}
+	if skipped {
+		// The owner is unreachable or unhealthy: compute locally.
+		// Determinism makes the fallback bytes identical to the owner's,
+		// so availability never costs correctness.
+		s.cluster.fallbacks.Inc()
+	}
+	return s.localRespond(ctx, endpoint, req, s.cluster.localKey(key))
+}
+
+// localRespond runs the single-replica spine: cache, singleflight,
+// admission, watchdogged simulation. cacheKey is the storage key — the
+// bare content address in single mode, epoch-prefixed in cluster mode.
+func (s *Server) localRespond(ctx context.Context, endpoint string, req any, cacheKey string) ([]byte, bool, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
-	return s.cache.Do(key, func() ([]byte, error) {
+	return s.cache.Do(cacheKey, func() ([]byte, error) {
 		return s.adm.Run(ctx, func() ([]byte, error) {
 			out, err := exp.RunSweep(s.runner, "", 1, func(int) ([]byte, error) {
 				if s.testHookCompute != nil {
@@ -202,6 +274,19 @@ func (s *Server) respond(ctx context.Context, endpoint string, req any) ([]byte,
 			return out[0], nil
 		})
 	})
+}
+
+// handleRingz reports the replica's view of the ring: configuration
+// digest, epoch, per-member liveness, and the failure detector's state
+// for each peer. Peers' probers read it; operators can too.
+func (s *Server) handleRingz(w http.ResponseWriter, r *http.Request) {
+	body, err := marshalBody(s.cluster.snapshot())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "ringz encoding failed")
+		return
+	}
+	w.Header().Set(HeaderRingEpoch, strconv.FormatUint(s.cluster.epoch(), 10))
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleHealthz is liveness: 200 while the process can answer at all.
