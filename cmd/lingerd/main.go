@@ -53,8 +53,7 @@ func realMain() (err error) {
 	// The cluster-link surface (timeouts, retries, health intervals,
 	// in-flight bound) is the same typed struct llsweep uses, so the two
 	// commands cannot drift apart.
-	link := fabric.DefaultLinkConfig()
-	link.RegisterFlags(flag.CommandLine)
+	link := cli.LinkFlags(flag.CommandLine)
 	var (
 		agentMode = flag.Bool("agent", false, "serve a workstation agent")
 		coordMode = flag.Bool("coordinator", false, "drive a set of agents")
@@ -94,7 +93,7 @@ func realMain() (err error) {
 		return runAgent(*listen, *name, *util, *busyAfter, *totalMB, rec)
 	case *coordMode:
 		link.Seed = *seed
-		return runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, link, *jsonOut, rec)
+		return runCoordinator(strings.Split(*agents, ","), *policy, *jobs, *demand, *steps, *faultSpec, *link, *jsonOut, rec)
 	case *demoMode:
 		return runDemo(*jsonOut, rec)
 	case *faultSpec != "":

@@ -9,6 +9,12 @@
 //	          [-breakdown] [-seed 1] [-tpdur 3600] [-machines 16] [-days 2]
 //	          [-metrics FILE] [-events FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
+//	lingersim -scenario scenarios/fig8.json [-quick] [-seed N]
+//	          Run a declarative cluster scenario spec (internal/scenario)
+//	          instead of the flag-driven experiment: every expanded point is
+//	          computed and printed as one table row. The spec's seed is used
+//	          unless -seed is given explicitly.
+//
 // The observability flags record what a run did — per-policy scheduling
 // counters, a JSONL event trace of placements/migrations/evictions/
 // lingers, pprof profiles — without participating in it; enabling them
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,8 @@ import (
 	"lingerlonger/internal/cli"
 	"lingerlonger/internal/cluster"
 	"lingerlonger/internal/core"
+	"lingerlonger/internal/obs"
+	"lingerlonger/internal/scenario"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
 )
@@ -45,6 +54,9 @@ func realMain() (err error) {
 		tpdur     = flag.Float64("tpdur", 3600, "throughput-run duration, seconds")
 		machines  = flag.Int("machines", 16, "trace corpus size")
 		days      = flag.Int("days", 2, "trace length, days")
+		scenPath  = flag.String("scenario", "", "run a cluster scenario spec `file` instead of the flag-driven experiment")
+		quick     = flag.Bool("quick", false, "scenario mode: smoke-run scale")
+		workers   = flag.Int("workers", 1, "scenario mode: worker pool size")
 	)
 	cli.RegisterVersionFlag()
 	flag.Parse()
@@ -54,10 +66,17 @@ func realMain() (err error) {
 	if flag.NArg() > 0 {
 		return cli.Usagef("unexpected argument %q", flag.Arg(0))
 	}
+	if *scenPath == "" && (*quick || *workers != 1) {
+		return cli.Usagef("-quick and -workers apply only with -scenario")
+	}
 	if err := o.Start(); err != nil {
 		return err
 	}
 	defer o.Finish(&err)
+
+	if *scenPath != "" {
+		return runScenario(*scenPath, *seed, *quick, *workers, &o)
+	}
 
 	tcfg := trace.DefaultConfig()
 	tcfg.Days = *days
@@ -114,6 +133,55 @@ func realMain() (err error) {
 			fmt.Printf("       breakdown: queued %.0f  run %.0f  linger %.0f  paused %.0f  migrate %.0f\n",
 				b.Queued, b.Running, b.Lingering, b.Paused, b.Migrating)
 		}
+	}
+	return nil
+}
+
+// runScenario runs a cluster scenario spec and prints one table row per
+// expanded point. An explicit -seed overrides the spec's seed, matching
+// llsweep's precedence rule.
+func runScenario(path string, seed int64, quick bool, workers int, o *cli.Obs) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Decode(data)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	if spec.Kind != scenario.KindCluster {
+		return cli.Usagef("%s: kind %q (lingersim runs cluster scenarios; use nodesim for node ones)", path, spec.Kind)
+	}
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+	if seedSet {
+		spec.Seed = seed
+	}
+	rec := o.Recorder()
+	id, specs, err := scenario.Expand(spec, quick)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	rec.Counter(obs.ScenarioPointsExpanded).Add(int64(len(specs)))
+	results, err := scenario.Run(workers, specs, rec)
+	if err != nil {
+		return err
+	}
+	digest, err := spec.Digest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Scenario %s (seed %d, %d points, digest %.12s...)\n", id, spec.Seed, len(specs), digest)
+	fmt.Printf("%-10s %-6s %12s %10s %12s %10s %6s\n",
+		"workload", "policy", "avg job (s)", "variation", "family (s)", "delay", "inc")
+	for i, raw := range results {
+		var pt scenario.ClusterPoint
+		if err := json.Unmarshal(raw, &pt); err != nil {
+			return fmt.Errorf("point %d: %w", i, err)
+		}
+		fmt.Printf("%-10v %-6s %12.0f %9.1f%% %12.0f %9.2f%% %6d\n",
+			pt.Workload, pt.Policy, pt.AvgCompletion, 100*pt.Variation,
+			pt.FamilyTime, 100*pt.LocalDelay, pt.Incomplete)
 	}
 	return nil
 }

@@ -44,7 +44,6 @@ import (
 	"time"
 
 	"lingerlonger/internal/cli"
-	"lingerlonger/internal/fabric"
 	"lingerlonger/internal/serve"
 )
 
@@ -67,8 +66,7 @@ func realMain() (err error) {
 		self    = flag.String("self", "", "this replica's advertised address in -peers (default -addr)")
 		vnodes  = flag.Int("ring-vnodes", 0, "virtual nodes per replica on the routing ring (0 selects the default)")
 	)
-	link := fabric.DefaultLinkConfig()
-	link.RegisterFlags(flag.CommandLine)
+	link := cli.LinkFlags(flag.CommandLine)
 	flag.Parse()
 	if cli.VersionRequested() {
 		return cli.PrintVersion("llserve")
@@ -110,7 +108,7 @@ func realMain() (err error) {
 		if advertised == "" {
 			advertised = *addr
 		}
-		cluster := &serve.ClusterConfig{Self: advertised, Peers: list, VNodes: *vnodes, Link: link}
+		cluster := &serve.ClusterConfig{Self: advertised, Peers: list, VNodes: *vnodes, Link: *link}
 		if err := cluster.Validate(); err != nil {
 			return cli.Usagef("%v", err)
 		}

@@ -6,6 +6,13 @@
 //	    Serial reference run: the byte-exact baseline every other
 //	    execution mode must reproduce.
 //
+//	llsweep -scenario scenarios/fig8.json -workers 4
+//	    Scenario mode: expand a declarative scenario spec (internal/
+//	    scenario) instead of a named sweep. The spec's name becomes the
+//	    sweep ID and its seed the report seed unless -seed is given
+//	    explicitly; the committed specs under scenarios/ reproduce the
+//	    named sweeps byte for byte.
+//
 //	llsweep -sweep node -quick -agents 127.0.0.1:7101,127.0.0.1:7102
 //	    Distributed run: partition the same points across agent processes
 //	    (lingerd -agent) with at-most-once dispatch, per-call deadlines,
@@ -36,7 +43,9 @@ import (
 	"lingerlonger/internal/cli"
 	"lingerlonger/internal/exp"
 	"lingerlonger/internal/fabric"
+	"lingerlonger/internal/obs"
 	"lingerlonger/internal/runtime"
+	"lingerlonger/internal/scenario"
 )
 
 func main() {
@@ -46,10 +55,10 @@ func main() {
 func realMain() (err error) {
 	var o cli.Obs
 	o.RegisterFlags()
-	link := fabric.DefaultLinkConfig()
-	link.RegisterFlags(flag.CommandLine)
+	link := cli.LinkFlags(flag.CommandLine)
 	var (
 		sweepName = flag.String("sweep", "node", fmt.Sprintf("sweep to run, one of %v", fabric.SweepNames()))
+		scenPath  = flag.String("scenario", "", "run a scenario spec `file` instead of a named sweep")
 		seed      = flag.Int64("seed", 1, "master seed; per-point seeds derive from it")
 		quick     = flag.Bool("quick", false, "smaller sweep for smoke runs")
 		workers   = flag.Int("workers", 1, "local mode: worker pool size (ignored with -agents)")
@@ -72,9 +81,40 @@ func realMain() (err error) {
 	defer o.Finish(&err)
 	rec := o.Recorder()
 
-	id, specs, err := fabric.BuildSweep(*sweepName, *seed, *quick)
-	if err != nil {
-		return cli.Usagef("%v", err)
+	var (
+		id    string
+		specs []exp.PointSpec
+	)
+	if *scenPath != "" {
+		data, err := os.ReadFile(*scenPath)
+		if err != nil {
+			return err
+		}
+		spec, err := scenario.Decode(data)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
+		// An explicit -seed overrides the spec's; otherwise the spec's
+		// seed is the report seed, so the report stays a pure function of
+		// the file content.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		if seedSet {
+			spec.Seed = *seed
+		} else {
+			*seed = spec.Seed
+		}
+		id, specs, err = scenario.Expand(spec, *quick)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
+		rec.Counter(obs.ScenarioPointsExpanded).Add(int64(len(specs)))
+	} else {
+		var err error
+		id, specs, err = fabric.BuildSweep(*sweepName, *seed, *quick)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
 	}
 
 	var store exp.Store
@@ -129,7 +169,7 @@ func realMain() (err error) {
 		}
 		cfg := fabric.Config{
 			Agents:   addrs,
-			Link:     link,
+			Link:     *link,
 			Injector: injector,
 			Store:    store,
 			Rec:      rec,

@@ -1,0 +1,165 @@
+// Command lltourney runs the policy tournament: every selected scheduling
+// policy runs every selected workload family, and the cells are ranked
+// into a schema-validated comparison report (per-workload standings plus
+// an overall normalized score).
+//
+//	lltourney -quick -workers 4
+//	    Local tournament over every registered policy and workload.
+//
+//	lltourney -quick -policies LL,FS -workloads w1,pareto
+//	    Restrict the axes (names from the scenario registries).
+//
+//	lltourney -quick -agents 127.0.0.1:7101,127.0.0.1:7102
+//	    Distribute the cells across lingerd agent processes via the sweep
+//	    fabric; faults, retries and agent counts never change a byte.
+//
+//	lltourney -check report.json
+//	    Validate an existing report against the schema and exit.
+//
+// The report on stdout is a pure function of (spec, seed, quick): worker
+// count and execution mode never change a byte — CI runs the same quick
+// tournament serially, with 8 workers, and through a 2-agent fabric and
+// requires cmp-identical output. Execution details go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lingerlonger/internal/cli"
+	"lingerlonger/internal/fabric"
+	"lingerlonger/internal/obs"
+	"lingerlonger/internal/runtime"
+	"lingerlonger/internal/scenario"
+)
+
+func main() {
+	cli.Run("lltourney", realMain)
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func realMain() (err error) {
+	var o cli.Obs
+	o.RegisterFlags()
+	link := cli.LinkFlags(flag.CommandLine)
+	var (
+		seed      = flag.Int64("seed", 1, "master seed; per-cell seeds derive from it")
+		quick     = flag.Bool("quick", false, "smoke-run scale (small cluster, short jobs)")
+		workers   = flag.Int("workers", 1, "local mode: worker pool size (ignored with -agents)")
+		agents    = flag.String("agents", "", "fabric mode: comma-separated lingerd agent addresses")
+		policies  = flag.String("policies", "", fmt.Sprintf("comma-separated policy names (default all: %v)", scenario.Policies.Names()))
+		workloads = flag.String("workloads", "", fmt.Sprintf("comma-separated workload names (default all: %v)", scenario.Workloads.Names()))
+		faultSpec = flag.String("fault", "", "fault injection spec for fabric calls, e.g. drop=0.05,seed=42")
+		outPath   = flag.String("out", "", "write the report to `file` instead of stdout")
+		checkPath = flag.String("check", "", "validate an existing report `file` and exit")
+	)
+	cli.RegisterVersionFlag()
+	flag.Parse()
+	if cli.VersionRequested() {
+		return cli.PrintVersion("lltourney")
+	}
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", flag.Arg(0))
+	}
+	if err := o.Start(); err != nil {
+		return err
+	}
+	defer o.Finish(&err)
+	rec := o.Recorder()
+
+	if *checkPath != "" {
+		data, err := os.ReadFile(*checkPath)
+		if err != nil {
+			return err
+		}
+		rep, err := scenario.ValidateTournamentReport(data)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lltourney: %s: valid (%d policies x %d workloads, digest %.12s...)\n",
+			*checkPath, len(rep.Policies), len(rep.Workloads), rep.Digest)
+		return nil
+	}
+
+	spec, specs, err := scenario.BuildTournament(scenario.TournamentConfig{
+		Seed:      *seed,
+		Quick:     *quick,
+		Policies:  splitList(*policies),
+		Workloads: splitList(*workloads),
+	})
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	rec.Counter(obs.ScenarioPointsExpanded).Add(int64(len(specs)))
+
+	var results [][]byte
+	if *agents == "" {
+		if *faultSpec != "" {
+			return cli.Usagef("-fault requires -agents (the injector sits on the fabric transport)")
+		}
+		results, err = scenario.Run(*workers, specs, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lltourney: %d cells local (workers=%d)\n", len(specs), *workers)
+	} else {
+		addrs := splitList(*agents)
+		var injector runtime.FaultInjector
+		if *faultSpec != "" {
+			fcfg, err := runtime.ParseFaultSpec(*faultSpec)
+			if err != nil {
+				return cli.Usagef("%v", err)
+			}
+			inj, err := runtime.NewSeededInjector(fcfg)
+			if err != nil {
+				return cli.Usagef("%v", err)
+			}
+			injector = inj
+		}
+		cfg := fabric.Config{Agents: addrs, Link: *link, Injector: injector, Rec: rec}
+		var stats fabric.Stats
+		results, stats, err = fabric.Run(cfg, "tournament", specs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lltourney: %d cells across %d agents (completed=%d, requeued=%d)\n",
+			len(specs), len(addrs), stats.Completed, stats.Requeued)
+	}
+
+	rep, err := scenario.Rank(spec, *quick, results)
+	if err != nil {
+		return err
+	}
+	data, err := scenario.EncodeTournament(rep)
+	if err != nil {
+		return err
+	}
+	// Self-check: what we emit must pass our own schema validation.
+	if _, err := scenario.ValidateTournamentReport(data); err != nil {
+		return err
+	}
+	rec.Counter(obs.ScenarioTournaments).Inc()
+	for _, ov := range rep.Overall {
+		fmt.Fprintf(os.Stderr, "lltourney: overall #%d %-3s score %.4f\n", ov.Rank, ov.Policy, ov.Score)
+	}
+	if *outPath != "" {
+		return os.WriteFile(*outPath, data, 0o644)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}

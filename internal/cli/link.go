@@ -1,0 +1,18 @@
+package cli
+
+import (
+	"flag"
+
+	"lingerlonger/internal/fabric"
+)
+
+// LinkFlags returns a fabric.LinkConfig initialized to the production
+// defaults with its flag surface registered on fs — the one-liner every
+// command that speaks the fabric protocol (llsweep, lingerd, llserve,
+// lltourney) uses instead of repeating the default-then-register dance.
+// The returned pointer is updated in place when fs is parsed.
+func LinkFlags(fs *flag.FlagSet) *fabric.LinkConfig {
+	link := fabric.DefaultLinkConfig()
+	link.RegisterFlags(fs)
+	return &link
+}

@@ -23,6 +23,14 @@ type Config struct {
 	JobCPU  float64 // CPU seconds each job needs
 	JobMB   float64 // process image size, megabytes (the paper: 8)
 
+	// JobSizes, when non-nil, draws each job's CPU demand from a
+	// distribution instead of the fixed JobCPU — the scenario layer's
+	// heavy-tailed workload families plug in here. Draws come from a
+	// dedicated RNG stream seeded off Seed, so a nil JobSizes leaves every
+	// legacy random stream — and therefore every figure — byte-identical.
+	// Non-positive draws fall back to JobCPU.
+	JobSizes stats.Distribution
+
 	Migration     core.MigrationCost
 	PauseTime     float64 // PM fixed suspend interval, seconds
 	ContextSwitch float64 // effective context-switch time, seconds
@@ -222,6 +230,13 @@ type simulation struct {
 	candIdle  []int32
 	candOther []int32
 
+	// sizeRNG is the dedicated stream for Config.JobSizes draws; nil when
+	// job sizes are fixed. fsDelay accumulates the FractionalShare owner
+	// slowdown (seconds of local CPU ceded to sharing), the analytic
+	// counterpart of the fine model's context-switch charges.
+	sizeRNG *stats.RNG
+	fsDelay float64
+
 	now         float64
 	replace     bool // throughput mode: completed jobs respawn
 	nextJobID   int
@@ -298,14 +313,32 @@ func newSimulation(cfg Config, corpus []*trace.Trace) (*simulation, error) {
 		}
 	}
 	s.rng = rng.Split()
+	if cfg.JobSizes != nil {
+		// An independent seed space (xor-salted, like the arrivals stream)
+		// so enabling distributional job sizes perturbs nothing else.
+		s.sizeRNG = stats.NewRNG(cfg.Seed ^ 0x70b5a12e)
+	}
 	for i := 0; i < int(cfg.NumJobs); i++ {
 		s.spawnJob()
 	}
 	return s, nil
 }
 
+// jobDemand returns the CPU demand of the next spawned job: the fixed
+// JobCPU, or a draw from Config.JobSizes when a distribution is set.
+func (s *simulation) jobDemand() float64 {
+	if s.sizeRNG == nil {
+		return s.cfg.JobCPU
+	}
+	d := s.cfg.JobSizes.Sample(s.sizeRNG)
+	if !(d > 0) || math.IsInf(d, 1) {
+		return s.cfg.JobCPU
+	}
+	return d
+}
+
 func (s *simulation) spawnJob() *Job {
-	j := newJob(s.nextJobID, s.cfg.JobCPU, s.cfg.JobMB, s.now)
+	j := newJob(s.nextJobID, s.jobDemand(), s.cfg.JobMB, s.now)
 	s.nextJobID++
 	s.jobs = append(s.jobs, j)
 	s.queue = append(s.queue, j)
@@ -506,7 +539,7 @@ func (s *simulation) ownerReturned(j *Job, nd *simNode) {
 	case core.PauseAndMigrate:
 		j.setState(Paused, s.now)
 		j.pauseEnd = s.now + s.cfg.PauseTime
-	case core.LingerLonger, core.LingerForever:
+	case core.LingerLonger, core.LingerForever, core.FractionalShare:
 		j.setState(Lingering, s.now)
 		s.cLinger.Inc()
 		s.emit("linger", nd, j)
@@ -593,6 +626,10 @@ func (s *simulation) findReservation(j *Job) *simNode {
 
 // serveJob runs j's node until windowEnd, handling completion.
 func (s *simulation) serveJob(j *Job, windowEnd float64) {
+	if s.cfg.Policy == core.FractionalShare {
+		s.serveJobFractional(j, windowEnd)
+		return
+	}
 	nd := j.node
 	start := j.stateSince
 	if nd.fine.Now() < start {
@@ -605,19 +642,70 @@ func (s *simulation) serveJob(j *Job, windowEnd float64) {
 	j.remaining -= delivered
 	s.foreignCPU += delivered
 	if j.remaining <= 1e-9 {
-		done := nd.fine.Now()
-		s.detach(j)
-		j.setState(Done, done)
-		j.completedAt = done
-		s.completed++
-		s.cComp.Inc()
-		s.emit("complete", nd, j)
-		if s.replace {
-			nj := newJob(s.nextJobID, s.cfg.JobCPU, s.cfg.JobMB, done)
-			s.nextJobID++
-			s.jobs = append(s.jobs, nj)
-			s.queue = append(s.queue, nj)
-		}
+		s.completeJob(j, nd, nd.fine.Now())
+	}
+}
+
+// serveJobFractional serves j under the FractionalShare discipline. The
+// foreign job is not run through the strict-priority fine-grain node;
+// instead it splits the CPU with the owner processor-sharing style: with
+// local utilization u over the window, the foreign rate is 1-u while the
+// owner is done sharing and 1/2 while both compete, i.e. max(1-u, 1/2).
+// The owner slowdown is the CPU ceded to the foreign job while the owner
+// had demand — min(u, 1/2) per shared second — accumulated into fsDelay
+// and reported through the same localDelay metric as the context-switch
+// charges of the priority policies.
+func (s *simulation) serveJobFractional(j *Job, windowEnd float64) {
+	nd := j.node
+	from := j.stateSince
+	if from < s.now {
+		from = s.now
+	}
+	if from >= windowEnd {
+		return
+	}
+	u := s.winUtil[nd.id]
+	if u > 1 {
+		u = 1
+	}
+	rate := 1 - u
+	if rate < 0.5 {
+		rate = 0.5
+	}
+	span := windowEnd - from
+	if need := j.remaining / rate; need < span {
+		span = need
+	}
+	delivered := rate * span
+	if delivered > j.remaining {
+		delivered = j.remaining
+	}
+	j.remaining -= delivered
+	s.foreignCPU += delivered
+	contention := u
+	if contention > 0.5 {
+		contention = 0.5
+	}
+	s.fsDelay += contention * span
+	if j.remaining <= 1e-9 {
+		s.completeJob(j, nd, from+span)
+	}
+}
+
+// completeJob retires j at instant done and, in throughput mode, spawns
+// its replacement.
+func (s *simulation) completeJob(j *Job, nd *simNode, done float64) {
+	s.detach(j)
+	j.setState(Done, done)
+	j.completedAt = done
+	s.completed++
+	s.cComp.Inc()
+	s.emit("complete", nd, j)
+	if s.replace {
+		nj := newJob(s.nextJobID, s.jobDemand(), s.cfg.JobMB, done)
+		s.nextJobID++
+		s.jobs = append(s.jobs, nj)
+		s.queue = append(s.queue, nj)
 	}
 }
 
@@ -663,7 +751,7 @@ func (s *simulation) localDelay() float64 {
 	if s.localDemand == 0 {
 		return 0
 	}
-	var delay float64
+	delay := s.fsDelay
 	for i := range s.nodes {
 		delay += s.nodes[i].fine.LocalDelay()
 	}

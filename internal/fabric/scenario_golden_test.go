@@ -1,0 +1,81 @@
+package fabric
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lingerlonger/internal/scenario"
+)
+
+// The committed specs under scenarios/ are the declarative form of the
+// builtin figure sweeps. These golden tests pin the contract that makes
+// them interchangeable: expanding a spec and running its points through
+// the fabric produces a report byte-identical to the legacy named sweep.
+
+func goldenScenario(t *testing.T, file, sweep string) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "scenarios", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scenario.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacyID, legacySpecs, err := BuildSweep(sweep, spec.Seed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyResults, _, err := RunLocal(BuiltinTasks(), nil, 2, legacyID, legacySpecs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := EncodeReport(legacyID, spec.Seed, true, legacyResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scenID, scenSpecs, err := scenario.Expand(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scenID != legacyID {
+		t.Fatalf("scenario %s expands to sweep id %q, legacy id is %q", file, scenID, legacyID)
+	}
+	if len(scenSpecs) != len(legacySpecs) {
+		t.Fatalf("scenario %s expands to %d points, legacy sweep has %d", file, len(scenSpecs), len(legacySpecs))
+	}
+	scenResults, _, err := RunLocal(BuiltinTasks(), nil, 2, scenID, scenSpecs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := EncodeReport(scenID, spec.Seed, true, scenResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(legacy, scen) {
+		t.Errorf("scenario %s is not byte-identical to sweep %q:\n--- legacy ---\n%s\n--- scenario ---\n%s",
+			file, sweep, legacy, scen)
+	}
+}
+
+func TestGoldenNodeScenario(t *testing.T) {
+	goldenScenario(t, "node.json", "node")
+}
+
+func TestGoldenFig8Scenario(t *testing.T) {
+	goldenScenario(t, "fig8.json", "fig8")
+}
+
+// TestScenarioTaskRegistered pins the fabric contract: agents resolve the
+// "scenario" task from the builtin table, so scenario sweeps can run on a
+// distributed fabric without any new wire messages.
+func TestScenarioTaskRegistered(t *testing.T) {
+	if _, ok := BuiltinTasks().Lookup(scenario.TaskName); !ok {
+		t.Fatalf("task %q not in BuiltinTasks", scenario.TaskName)
+	}
+}

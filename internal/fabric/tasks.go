@@ -9,6 +9,7 @@ import (
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/exp"
 	"lingerlonger/internal/node"
+	"lingerlonger/internal/scenario"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
 	"lingerlonger/internal/workload"
@@ -150,15 +151,17 @@ func runNodeTask(spec exp.PointSpec) ([]byte, error) {
 	})
 }
 
-// BuiltinTasks returns a registry holding the repository's standard tasks.
-// Agents (cmd/lingerd -agent) and serial drivers (cmd/llsweep -workers)
-// must register the same tasks so a spec means the same computation in
-// every process.
+// BuiltinTasks returns a registry holding the repository's standard tasks,
+// including the scenario task (internal/scenario) that executes points of
+// declarative scenario specs. Agents (cmd/lingerd -agent) and serial
+// drivers (cmd/llsweep -workers) must register the same tasks so a spec
+// means the same computation in every process.
 func BuiltinTasks() *exp.Tasks {
 	t := exp.NewTasks()
 	for name, fn := range map[string]exp.TaskFunc{
-		TaskCluster: runClusterTask,
-		TaskNode:    runNodeTask,
+		TaskCluster:       runClusterTask,
+		TaskNode:          runNodeTask,
+		scenario.TaskName: scenario.Task,
 	} {
 		if err := t.Register(name, fn); err != nil {
 			panic(err) // unreachable: static names, non-nil funcs

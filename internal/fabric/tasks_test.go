@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"lingerlonger/internal/exp"
+	"lingerlonger/internal/scenario"
 )
 
 func TestBuiltinTasksRegistry(t *testing.T) {
 	reg := BuiltinTasks()
-	want := []string{TaskCluster, TaskNode}
+	want := []string{TaskCluster, TaskNode, scenario.TaskName}
 	got := reg.Names()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v, want %v", got, want)

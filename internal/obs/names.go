@@ -96,6 +96,11 @@ const (
 	FabricAgentsDead        = "fabric.agents.dead"        // counter
 	FabricAgentsResurrected = "fabric.agents.resurrected" // counter
 
+	// Declarative scenario layer (internal/scenario).
+	ScenarioPointsExpanded = "scenario.points.expanded" // counter
+	ScenarioRuns           = "scenario.runs"            // counter
+	ScenarioTournaments    = "scenario.tournaments"     // counter
+
 	// Whole-process (set once by the CLI layer at exit).
 	RunWallSeconds = "run.wall_seconds" // gauge
 )
@@ -158,6 +163,9 @@ var Catalog = []Def{
 	{FabricAgentsSuspected, KindCounter, "fabric agent health transitions into the suspect state"},
 	{FabricAgentsDead, KindCounter, "fabric agent health transitions into the dead state"},
 	{FabricAgentsResurrected, KindCounter, "dead fabric agents brought back into rotation by a successful probe"},
+	{ScenarioPointsExpanded, KindCounter, "sweep points produced by scenario-spec expansion"},
+	{ScenarioRuns, KindCounter, "scenario points computed by the in-process scenario runner"},
+	{ScenarioTournaments, KindCounter, "policy-tournament reports assembled"},
 	{RunWallSeconds, KindGauge, "total wall-clock of the whole command run, seconds"},
 }
 

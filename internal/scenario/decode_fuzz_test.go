@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeSpec drives arbitrary bytes through the strict decoder. The
+// invariants: Decode never panics; every failure wraps ErrInvalidSpec;
+// every success yields a canonical form that re-decodes to the same
+// canonical bytes and the same digest (normalization is a fixed point).
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "cluster"}`))
+	f.Add([]byte(`{"scenarioVersion": 1, "name": "n", "kind": "node"}`))
+	f.Add([]byte(`{"scenarioVersion": 1, "name": "t", "kind": "cluster",
+		"sweep": {"workloads": ["w1", "pareto"], "policies": ["LL", "FS"], "seeds": 2}}`))
+	f.Add([]byte(`{"scenarioVersion": 1, "name": "c", "kind": "cluster",
+		"policy": "PM", "workload": "lognormal", "seed": 42,
+		"cluster": {"nodes": 32, "jobMB": 16, "memoryCheck": false, "contextSwitch": 0.0003},
+		"trace": {"machines": 8, "days": 3}}`))
+	f.Add([]byte(`{"scenarioVersion": 1, "name": "g", "kind": "node",
+		"node": {"cs": [0.0001, 0.0005], "utils": [0, 0.5, 0.9], "dur": 500}}`))
+	f.Add([]byte(`{"scenarioVersion": 2, "name": "skew", "kind": "node"}`))
+	f.Add([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "cluster", "bogus": 1}`))
+	f.Add([]byte(`{{{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "cluster"} trailing`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Fatalf("Decode error %v does not wrap ErrInvalidSpec", err)
+			}
+			return
+		}
+		canon, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("valid spec does not encode: %v", err)
+		}
+		d1, err := s.Digest()
+		if err != nil {
+			t.Fatalf("valid spec has no digest: %v", err)
+		}
+		again, err := Decode(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected on re-decode: %v\n%s", err, canon)
+		}
+		canon2, err := again.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\n%s", canon, canon2)
+		}
+		d2, err := again.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("digest unstable across round trip: %s vs %s", d1, d2)
+		}
+		if _, _, err := Expand(s, true); err != nil {
+			t.Fatalf("valid spec does not expand: %v", err)
+		}
+	})
+}

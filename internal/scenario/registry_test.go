@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"lingerlonger/internal/cluster"
+	"lingerlonger/internal/core"
+)
+
+func TestBuiltinRegistrationOrder(t *testing.T) {
+	if got, want := Policies.Names(), []string{"LL", "LF", "IE", "PM", "FS"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("policy order = %v, want %v", got, want)
+	}
+	if got, want := Workloads.Names(), []string{"w1", "w2", "w3", "pareto", "lognormal"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("workload order = %v, want %v", got, want)
+	}
+	if got, want := Workloads.HeavyTailedNames(), []string{"lognormal", "pareto"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("heavy-tailed = %v, want %v", got, want)
+	}
+}
+
+func TestBuiltinEntries(t *testing.T) {
+	fs, ok := Policies.Lookup("FS")
+	if !ok || fs.Policy != core.FractionalShare {
+		t.Errorf("FS lookup = (%+v, %t)", fs, ok)
+	}
+	w1, ok := Workloads.Lookup("w1")
+	if !ok || w1.Legacy != 1 || w1.HeavyTailed {
+		t.Errorf("w1 lookup = (%+v, %t)", w1, ok)
+	}
+	var cfg cluster.Config
+	w1.Apply(&cfg, false)
+	if cfg.NumJobs != 128 || cfg.JobCPU != 600 || cfg.JobSizes != nil {
+		t.Errorf("w1 apply: %+v", cfg)
+	}
+	par, ok := Workloads.Lookup("pareto")
+	if !ok || par.Legacy != 0 || !par.HeavyTailed {
+		t.Errorf("pareto lookup = (%+v, %t)", par, ok)
+	}
+	par.Apply(&cfg, true)
+	if cfg.JobCPU != 120 || cfg.JobSizes == nil {
+		t.Errorf("pareto quick apply: JobCPU=%g JobSizes=%v", cfg.JobCPU, cfg.JobSizes)
+	}
+	if m := cfg.JobSizes.Mean(); m < 100 || m > 140 {
+		t.Errorf("pareto quick mean = %g, want ~120", m)
+	}
+}
+
+func TestPolicyRegisterErrors(t *testing.T) {
+	r := NewPolicyRegistry()
+	if err := r.Register(PolicyEntry{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register(PolicyEntry{Name: "X"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(PolicyEntry{Name: "X"}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Error("lookup of unregistered name succeeded")
+	}
+}
+
+func TestWorkloadRegisterErrors(t *testing.T) {
+	r := NewWorkloadRegistry()
+	apply := func(*cluster.Config, bool) {}
+	if err := r.Register(WorkloadEntry{Apply: apply}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register(WorkloadEntry{Name: "x"}); err == nil {
+		t.Error("nil Apply accepted")
+	}
+	if err := r.Register(WorkloadEntry{Name: "x", Apply: apply}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(WorkloadEntry{Name: "x", Apply: apply}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}

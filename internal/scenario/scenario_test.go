@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeClusterDefaults(t *testing.T) {
+	s, err := Decode([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "cluster"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy != "LL" || s.Workload != "w1" {
+		t.Errorf("singleton axes = (%q, %q), want (LL, w1)", s.Policy, s.Workload)
+	}
+	if s.Seed != 1 {
+		t.Errorf("seed = %d, want 1", s.Seed)
+	}
+	c := s.Cluster
+	if c == nil || c.Nodes != 64 || c.JobMB != 8 || c.MemoryCheck == nil || !*c.MemoryCheck ||
+		c.PauseTime != 30 || c.ContextSwitch != 100e-6 || c.MaxTime != 200000 {
+		t.Errorf("cluster defaults not materialized: %+v", c)
+	}
+	if s.Trace == nil || s.Trace.Machines != 16 || s.Trace.Days != 7 {
+		t.Errorf("trace defaults not materialized: %+v", s.Trace)
+	}
+}
+
+func TestDecodeNodeDefaults(t *testing.T) {
+	s, err := Decode([]byte(`{"scenarioVersion": 1, "name": "n", "kind": "node"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Node
+	if n == nil {
+		t.Fatal("node params not materialized")
+	}
+	if len(n.ContextSwitches) != 3 || n.ContextSwitches[0] != 100e-6 {
+		t.Errorf("cs defaults = %v", n.ContextSwitches)
+	}
+	if len(n.Utilizations) != 19 || n.Utilizations[18] != 0.90 {
+		t.Errorf("utils defaults = %v", n.Utilizations)
+	}
+	if n.Duration != 2000 {
+		t.Errorf("dur = %g, want 2000", n.Duration)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"empty", ``, "decode"},
+		{"garbage", `{{{`, "decode"},
+		{"not an object", `42`, "decode"},
+		{"unknown field", `{"scenarioVersion": 1, "name": "x", "kind": "node", "bogus": 1}`, "bogus"},
+		{"trailing data", `{"scenarioVersion": 1, "name": "x", "kind": "node"} {}`, "trailing"},
+		{"missing version", `{"name": "x", "kind": "node"}`, "missing scenarioVersion"},
+		{"future version", `{"scenarioVersion": 99, "name": "x", "kind": "node"}`, "not supported"},
+		{"missing name", `{"scenarioVersion": 1, "kind": "node"}`, "missing name"},
+		{"bad name char", `{"scenarioVersion": 1, "name": "X!", "kind": "node"}`, "not in"},
+		{"name too long", `{"scenarioVersion": 1, "name": "` + strings.Repeat("a", 65) + `", "kind": "node"}`, "longer than 64"},
+		{"missing kind", `{"scenarioVersion": 1, "name": "x"}`, "kind"},
+		{"bad kind", `{"scenarioVersion": 1, "name": "x", "kind": "galaxy"}`, "kind"},
+		{"node params on cluster", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "node": {}}`, "only valid for kind"},
+		{"cluster params on node", `{"scenarioVersion": 1, "name": "x", "kind": "node", "policy": "LL"}`, "only valid for kind"},
+		{"sweep on node", `{"scenarioVersion": 1, "name": "x", "kind": "node", "sweep": {}}`, "only valid for kind"},
+		{"unknown policy", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "policy": "ZZ"}`, "not registered"},
+		{"unknown workload", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "workload": "w9"}`, "not registered"},
+		{"nodes out of range", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "cluster": {"nodes": 5000}}`, "out of range"},
+		{"negative jobMB", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "cluster": {"jobMB": -1}}`, "out of range"},
+		{"pauseTime too big", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "cluster": {"pauseTime": 1e9}}`, "out of range"},
+		{"contextSwitch too big", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "cluster": {"contextSwitch": 1}}`, "out of range"},
+		{"negative maxTime", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "cluster": {"maxTime": -5}}`, "out of range"},
+		{"machines out of range", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "trace": {"machines": 1000}}`, "out of range"},
+		{"days out of range", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "trace": {"days": 99}}`, "out of range"},
+		{"axis dup", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "sweep": {"policies": ["LL", "LL"]}}`, "twice"},
+		{"axis unknown", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "sweep": {"workloads": ["nope"]}}`, "not registered"},
+		{"seeds out of range", `{"scenarioVersion": 1, "name": "x", "kind": "cluster", "sweep": {"seeds": 5000}}`, "out of range"},
+		{"cs zero", `{"scenarioVersion": 1, "name": "x", "kind": "node", "node": {"cs": [0]}}`, "out of range"},
+		{"util negative", `{"scenarioVersion": 1, "name": "x", "kind": "node", "node": {"utils": [-0.1]}}`, "out of range"},
+		{"util too high", `{"scenarioVersion": 1, "name": "x", "kind": "node", "node": {"utils": [1.0]}}`, "out of range"},
+		{"dur too long", `{"scenarioVersion": 1, "name": "x", "kind": "node", "node": {"dur": 1e9}}`, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Decode(%q) succeeded, want error containing %q", tc.in, tc.want)
+			}
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Errorf("error %v does not wrap ErrInvalidSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeSizeCap(t *testing.T) {
+	big := append([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "node"`),
+		bytes.Repeat([]byte(" "), MaxSpecBytes)...)
+	big = append(big, '}')
+	if _, err := Decode(big); err == nil || !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("oversized spec: err = %v, want ErrInvalidSpec", err)
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	// Two spellings of the same scenario must share canonical bytes and
+	// digest; re-decoding the canonical form must be a fixed point.
+	a, err := Decode([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "cluster"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "cluster",
+		"policy": "LL", "workload": "w1", "seed": 1,
+		"cluster": {"nodes": 64}, "trace": {"machines": 16, "days": 7},
+		"sweep": {}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("canonical forms differ:\n%s\n%s", ca, cb)
+	}
+	da, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(da) != 64 {
+		t.Errorf("digest %q is not sha256 hex", da)
+	}
+	again, err := Decode(ca)
+	if err != nil {
+		t.Fatalf("canonical form does not re-decode: %v", err)
+	}
+	c2, err := again.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, c2) {
+		t.Errorf("canonical form is not a fixed point:\n%s\n%s", ca, c2)
+	}
+}
+
+func TestDigestSeparates(t *testing.T) {
+	specs := []string{
+		`{"scenarioVersion": 1, "name": "x", "kind": "cluster"}`,
+		`{"scenarioVersion": 1, "name": "x", "kind": "cluster", "policy": "FS"}`,
+		`{"scenarioVersion": 1, "name": "x", "kind": "cluster", "seed": 2}`,
+		`{"scenarioVersion": 1, "name": "y", "kind": "cluster"}`,
+		`{"scenarioVersion": 1, "name": "x", "kind": "node"}`,
+	}
+	seen := map[string]string{}
+	for _, in := range specs {
+		s, err := Decode([]byte(in))
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		d, err := s.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[d]; dup {
+			t.Errorf("digest collision between %s and %s", prev, in)
+		}
+		seen[d] = in
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	s, err := Decode([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "cluster",
+		"sweep": {"policies": ["LL", "FS"], "seeds": 3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("Normalize is not idempotent:\n%s\n%s", before, after)
+	}
+}
+
+func TestSingletonSweepDropped(t *testing.T) {
+	s, err := Decode([]byte(`{"scenarioVersion": 1, "name": "x", "kind": "cluster", "sweep": {"seeds": 1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sweep != nil {
+		t.Errorf("singleton sweep survived normalization: %+v", s.Sweep)
+	}
+}

@@ -1,0 +1,372 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"lingerlonger/internal/exp"
+)
+
+// This file implements the policy-tournament mode: every selected policy
+// runs every selected workload, and the cell results are ranked into a
+// schema-validated report. The report is a pure function of (spec, seed,
+// quick): cells arrive in expansion order, ranking ties break by the
+// policy axis order, and the encoder is deterministic — so worker
+// counts, agent counts and faults never change a byte (CI proves it).
+
+// TournamentSchemaVersion pins the tournament report layout.
+const TournamentSchemaVersion = 1
+
+// MaxTournamentBytes caps the size of a report accepted by
+// ValidateTournamentReport.
+const MaxTournamentBytes = 4 << 20
+
+// incompletePenalty is the score ratio assigned to a cell with no
+// completed jobs, so an all-incomplete policy ranks last with finite,
+// JSON-encodable bytes.
+const incompletePenalty = 1e6
+
+// TournamentConfig selects what a tournament runs.
+type TournamentConfig struct {
+	// Seed is the master seed (0 normalizes to 1).
+	Seed int64
+	// Quick selects the shrunk smoke-run scale.
+	Quick bool
+	// Policies lists registered policy names; nil selects every
+	// registered policy in registration order.
+	Policies []string
+	// Workloads lists registered workload names; nil selects every
+	// registered workload in registration order.
+	Workloads []string
+}
+
+// BuildTournament constructs the tournament's normalized scenario spec
+// (name "tournament", cluster kind, the full policy x workload sweep)
+// and expands it into point specs. The spec is the report's identity:
+// its digest is stamped into the report header.
+func BuildTournament(cfg TournamentConfig) (*Spec, []exp.PointSpec, error) {
+	pols := cfg.Policies
+	if pols == nil {
+		pols = Policies.Names()
+	}
+	wls := cfg.Workloads
+	if wls == nil {
+		wls = Workloads.Names()
+	}
+	s := &Spec{
+		Version: SpecVersion,
+		Name:    "tournament",
+		Kind:    KindCluster,
+		Seed:    cfg.Seed,
+		Sweep:   &Axes{Policies: pols, Workloads: wls},
+	}
+	_, specs, err := Expand(s, cfg.Quick)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, specs, nil
+}
+
+// Cell is one (workload, policy) tournament result.
+type Cell struct {
+	// Workload is the registered workload name.
+	Workload string `json:"workload"`
+	// Policy is the registered policy name.
+	Policy string `json:"policy"`
+	// AvgCompletion is the mean completion time, seconds (0 when no
+	// job completed).
+	AvgCompletion float64 `json:"avgCompletion"`
+	// Variation is the coefficient of variation of execution time.
+	Variation float64 `json:"variation"`
+	// FamilyTime is the last completion instant, seconds.
+	FamilyTime float64 `json:"familyTime"`
+	// LocalDelay is the owner slowdown fraction.
+	LocalDelay float64 `json:"localDelay"`
+	// Migrations counts migrations started.
+	Migrations int `json:"migrations"`
+	// Evictions counts destination-less evictions.
+	Evictions int `json:"evictions"`
+	// Incomplete counts jobs unfinished at the horizon.
+	Incomplete int `json:"incomplete"`
+}
+
+// Standing is one policy's position on one workload.
+type Standing struct {
+	// Policy is the registered policy name.
+	Policy string `json:"policy"`
+	// Rank is the 1-based position (1 = fastest average completion).
+	Rank int `json:"rank"`
+	// AvgCompletion repeats the cell metric the rank is computed from.
+	AvgCompletion float64 `json:"avgCompletion"`
+}
+
+// Ranking orders the policies on one workload by average completion
+// time (ascending; policies with no completed jobs rank last, ties keep
+// the policy axis order).
+type Ranking struct {
+	// Workload is the registered workload name.
+	Workload string `json:"workload"`
+	// Order lists every policy, best first.
+	Order []Standing `json:"order"`
+}
+
+// OverallStanding is one policy's cross-workload position.
+type OverallStanding struct {
+	// Policy is the registered policy name.
+	Policy string `json:"policy"`
+	// Rank is the 1-based overall position.
+	Rank int `json:"rank"`
+	// Score is the mean over workloads of this policy's average
+	// completion divided by the workload's best — 1.0 means the policy
+	// won every workload; lower is better.
+	Score float64 `json:"score"`
+}
+
+// TournamentReport is the ranked comparison a tournament emits.
+type TournamentReport struct {
+	// SchemaVersion pins the layout (TournamentSchemaVersion).
+	SchemaVersion int `json:"schemaVersion"`
+	// Digest is the tournament spec's canonical digest.
+	Digest string `json:"digest"`
+	// Seed is the master seed the cells ran under.
+	Seed int64 `json:"seed"`
+	// Quick records whether the cells ran at smoke scale.
+	Quick bool `json:"quick"`
+	// Policies is the policy axis in tournament order.
+	Policies []string `json:"policies"`
+	// Workloads is the workload axis in tournament order.
+	Workloads []string `json:"workloads"`
+	// Cells holds every (workload, policy) result, workload-major in
+	// axis order.
+	Cells []Cell `json:"cells"`
+	// Rankings orders the policies per workload.
+	Rankings []Ranking `json:"rankings"`
+	// Overall orders the policies across all workloads.
+	Overall []OverallStanding `json:"overall"`
+}
+
+// Rank assembles the tournament report from per-point results in
+// expansion order (the bytes Run, fabric.RunLocal or fabric.Run return
+// for BuildTournament's specs).
+func Rank(s *Spec, quick bool, results [][]byte) (*TournamentReport, error) {
+	if s.Sweep == nil || len(s.Sweep.Policies) == 0 || len(s.Sweep.Workloads) == 0 {
+		return nil, fmt.Errorf("scenario: tournament spec needs explicit sweep.policies and sweep.workloads")
+	}
+	if s.Sweep.Seeds != 1 {
+		return nil, fmt.Errorf("scenario: tournament specs use one replication per cell, got seeds=%d", s.Sweep.Seeds)
+	}
+	pols, wls := s.Sweep.Policies, s.Sweep.Workloads
+	if want := len(wls) * len(pols); len(results) != want {
+		return nil, fmt.Errorf("scenario: tournament over %d workloads x %d policies wants %d results, got %d",
+			len(wls), len(pols), want, len(results))
+	}
+	digest, err := s.Digest()
+	if err != nil {
+		return nil, err
+	}
+	rep := &TournamentReport{
+		SchemaVersion: TournamentSchemaVersion,
+		Digest:        digest,
+		Seed:          s.Seed,
+		Quick:         quick,
+		Policies:      pols,
+		Workloads:     wls,
+	}
+	i := 0
+	for _, wl := range wls {
+		for _, pol := range pols {
+			var pt ClusterPoint
+			if err := json.Unmarshal(results[i], &pt); err != nil {
+				return nil, fmt.Errorf("scenario: tournament cell %d (%s/%s): %w", i, wl, pol, err)
+			}
+			if pt.Policy != pol {
+				return nil, fmt.Errorf("scenario: tournament cell %d reports policy %q, expected %q", i, pt.Policy, pol)
+			}
+			rep.Cells = append(rep.Cells, Cell{
+				Workload:      wl,
+				Policy:        pol,
+				AvgCompletion: pt.AvgCompletion,
+				Variation:     pt.Variation,
+				FamilyTime:    pt.FamilyTime,
+				LocalDelay:    pt.LocalDelay,
+				Migrations:    pt.Migrations,
+				Evictions:     pt.Evictions,
+				Incomplete:    pt.Incomplete,
+			})
+			i++
+		}
+	}
+	rep.rank()
+	return rep, nil
+}
+
+// cellKey is the ranking key: average completion, with "nothing
+// completed" sorting after every real result.
+func cellKey(c Cell) float64 {
+	if c.AvgCompletion <= 0 {
+		return incompletePenalty * incompletePenalty
+	}
+	return c.AvgCompletion
+}
+
+// rank fills Rankings and Overall from Cells.
+func (r *TournamentReport) rank() {
+	ratios := make(map[string]float64, len(r.Policies)) // policy -> summed score ratio
+	for wi, wl := range r.Workloads {
+		row := r.Cells[wi*len(r.Policies) : (wi+1)*len(r.Policies)]
+		order := make([]int, len(row))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return cellKey(row[order[a]]) < cellKey(row[order[b]])
+		})
+		best := cellKey(row[order[0]])
+		rk := Ranking{Workload: wl}
+		for pos, idx := range order {
+			c := row[idx]
+			rk.Order = append(rk.Order, Standing{
+				Policy:        c.Policy,
+				Rank:          pos + 1,
+				AvgCompletion: c.AvgCompletion,
+			})
+			ratio := incompletePenalty
+			if key := cellKey(c); key < incompletePenalty*incompletePenalty {
+				ratio = key / best
+			}
+			ratios[c.Policy] += ratio
+		}
+		r.Rankings = append(r.Rankings, rk)
+	}
+	order := make([]int, len(r.Policies))
+	for i := range order {
+		order[i] = i
+	}
+	nw := float64(len(r.Workloads))
+	sort.SliceStable(order, func(a, b int) bool {
+		return ratios[r.Policies[order[a]]] < ratios[r.Policies[order[b]]]
+	})
+	for pos, idx := range order {
+		pol := r.Policies[idx]
+		r.Overall = append(r.Overall, OverallStanding{
+			Policy: pol,
+			Rank:   pos + 1,
+			Score:  ratios[pol] / nw,
+		})
+	}
+}
+
+// EncodeTournament renders the deterministic report bytes (two-space
+// indented JSON, trailing newline — the llsweep report style).
+func EncodeTournament(r *TournamentReport) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ValidateTournamentReport strictly decodes report bytes and checks the
+// schema invariants: version, axis/cell/ranking shape agreement, exact
+// rank permutations, and cells in expansion order. It returns the
+// decoded report so callers can inspect it.
+func ValidateTournamentReport(data []byte) (*TournamentReport, error) {
+	if len(data) > MaxTournamentBytes {
+		return nil, fmt.Errorf("scenario: tournament report is %d bytes (max %d)", len(data), MaxTournamentBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	r := new(TournamentReport)
+	if err := dec.Decode(r); err != nil {
+		return nil, fmt.Errorf("scenario: tournament report: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing data after tournament report")
+	}
+	if r.SchemaVersion != TournamentSchemaVersion {
+		return nil, fmt.Errorf("scenario: tournament schema %d (want %d)", r.SchemaVersion, TournamentSchemaVersion)
+	}
+	if len(r.Digest) != 64 {
+		return nil, fmt.Errorf("scenario: tournament digest %q is not a sha256 hex", r.Digest)
+	}
+	if len(r.Policies) == 0 || len(r.Workloads) == 0 {
+		return nil, fmt.Errorf("scenario: tournament with empty axes")
+	}
+	if want := len(r.Workloads) * len(r.Policies); len(r.Cells) != want {
+		return nil, fmt.Errorf("scenario: tournament has %d cells, want %d", len(r.Cells), want)
+	}
+	i := 0
+	for _, wl := range r.Workloads {
+		for _, pol := range r.Policies {
+			c := r.Cells[i]
+			if c.Workload != wl || c.Policy != pol {
+				return nil, fmt.Errorf("scenario: cell %d is (%s, %s), want (%s, %s)", i, c.Workload, c.Policy, wl, pol)
+			}
+			i++
+		}
+	}
+	if len(r.Rankings) != len(r.Workloads) {
+		return nil, fmt.Errorf("scenario: tournament has %d rankings for %d workloads", len(r.Rankings), len(r.Workloads))
+	}
+	for wi, rk := range r.Rankings {
+		if rk.Workload != r.Workloads[wi] {
+			return nil, fmt.Errorf("scenario: ranking %d is for %q, want %q", wi, rk.Workload, r.Workloads[wi])
+		}
+		if err := checkPermutation(fmt.Sprintf("ranking %q", rk.Workload), standingNamesRanks(rk.Order), r.Policies); err != nil {
+			return nil, err
+		}
+	}
+	var names []nameRank
+	for _, o := range r.Overall {
+		if o.Score < 0 {
+			return nil, fmt.Errorf("scenario: overall score %g for %q is negative", o.Score, o.Policy)
+		}
+		names = append(names, nameRank{o.Policy, o.Rank})
+	}
+	return r, checkPermutation("overall", names, r.Policies)
+}
+
+// nameRank pairs a ranked policy with its claimed rank.
+type nameRank struct {
+	name string
+	rank int
+}
+
+func standingNamesRanks(order []Standing) []nameRank {
+	out := make([]nameRank, len(order))
+	for i, st := range order {
+		out[i] = nameRank{st.Policy, st.Rank}
+	}
+	return out
+}
+
+// checkPermutation verifies a ranking covers exactly the policy set with
+// ranks 1..n in order.
+func checkPermutation(what string, got []nameRank, pols []string) error {
+	if len(got) != len(pols) {
+		return fmt.Errorf("scenario: %s ranks %d policies, want %d", what, len(got), len(pols))
+	}
+	seen := make(map[string]bool, len(pols))
+	for _, p := range pols {
+		seen[p] = false
+	}
+	for i, nr := range got {
+		if nr.rank != i+1 {
+			return fmt.Errorf("scenario: %s position %d has rank %d", what, i, nr.rank)
+		}
+		used, known := seen[nr.name]
+		if !known {
+			return fmt.Errorf("scenario: %s ranks unknown policy %q", what, nr.name)
+		}
+		if used {
+			return fmt.Errorf("scenario: %s ranks policy %q twice", what, nr.name)
+		}
+		seen[nr.name] = true
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"lingerlonger/internal/cluster"
 	"lingerlonger/internal/core"
 	"lingerlonger/internal/node"
+	"lingerlonger/internal/scenario"
 	"lingerlonger/internal/stats"
 	"lingerlonger/internal/trace"
 	"lingerlonger/internal/workload"
@@ -153,6 +154,41 @@ func computeDecide(q *DecideRequest) ([]byte, error) {
 	return marshalBody(&resp)
 }
 
+// computeScenario expands and runs one scenario spec. The request's Spec
+// already holds the canonical bytes (normalize put them there), so
+// re-decoding cannot fail on shape and the expansion is the same pure
+// function llsweep and lltourney run: per-point seeds derive from the
+// spec's seed, and the points come back in expansion order.
+func computeScenario(q *ScenarioRequest) ([]byte, error) {
+	spec, err := scenario.Decode(q.Spec)
+	if err != nil {
+		return nil, badf("%v", err) // unreachable after normalize; kept for safety
+	}
+	digest, err := spec.Digest()
+	if err != nil {
+		return nil, err
+	}
+	name, specs, err := scenario.Expand(spec, q.Quick)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]json.RawMessage, len(specs))
+	for i, ps := range specs {
+		out, err := scenario.Task(ps)
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = out
+	}
+	return marshalBody(&ScenarioResponse{
+		Name:   name,
+		Digest: digest,
+		Seed:   spec.Seed,
+		Quick:  q.Quick,
+		Points: pts,
+	})
+}
+
 // compute dispatches a normalized request (as returned by DecodeRequest)
 // to its simulator.
 func compute(req any) ([]byte, error) {
@@ -163,6 +199,8 @@ func compute(req any) ([]byte, error) {
 		return computeNode(q)
 	case *DecideRequest:
 		return computeDecide(q)
+	case *ScenarioRequest:
+		return computeScenario(q)
 	default:
 		return nil, fmt.Errorf("serve: unknown request type %T", req)
 	}

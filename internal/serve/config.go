@@ -7,6 +7,11 @@
 //	POST /v1/simulate/cluster  Figure 7/8-style batch run (policy, nodes,
 //	                           seed, workload params)
 //	POST /v1/simulate/node     single-node LDR/FCSR (§4.1)
+//	POST /v1/simulate/scenario declarative scenario spec (internal/
+//	                           scenario): the spec is canonicalized and
+//	                           content-addressed on its digest, expanded
+//	                           (at most MaxScenarioPoints points), and
+//	                           every point computed in expansion order
 //	POST /v1/decide/linger     the §2 cost-model decision
 //	                           Tlingr = ((1-l)/(h-l))·Tmigr (fast path,
 //	                           computed inline, never queued)

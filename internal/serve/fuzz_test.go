@@ -29,9 +29,12 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{"policy": "LL"} trailing`))
 	f.Add([]byte(`{"unknown": true}`))
 	f.Add([]byte(strings.Repeat(`{"policy":"LL",`, 100)))
+	f.Add([]byte(`{"spec": {"scenarioVersion": 1, "name": "x", "kind": "node"}, "quick": true}`))
+	f.Add([]byte(`{"spec": {"scenarioVersion": 9, "name": "x", "kind": "node"}}`))
+	f.Add([]byte(`{"spec": null}`))
 
 	const maxBytes = 1 << 16
-	endpoints := []string{EndpointCluster, EndpointNode, EndpointDecide}
+	endpoints := []string{EndpointCluster, EndpointNode, EndpointDecide, EndpointScenario}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, ep := range endpoints {
 			req, err := DecodeRequest(ep, data, maxBytes)
@@ -54,6 +57,10 @@ func FuzzDecodeRequest(f *testing.F) {
 					t.Fatalf("%s: accepted request fails re-normalization: %v", ep, nerr)
 				}
 			case *DecideRequest:
+				if nerr := q.normalize(); nerr != nil {
+					t.Fatalf("%s: accepted request fails re-normalization: %v", ep, nerr)
+				}
+			case *ScenarioRequest:
 				if nerr := q.normalize(); nerr != nil {
 					t.Fatalf("%s: accepted request fails re-normalization: %v", ep, nerr)
 				}

@@ -9,14 +9,21 @@ import (
 	"fmt"
 
 	"lingerlonger/internal/core"
+	"lingerlonger/internal/scenario"
 )
 
 // Endpoint labels for metrics and cache keys.
 const (
-	EndpointCluster = "cluster"
-	EndpointNode    = "node"
-	EndpointDecide  = "decide"
+	EndpointCluster  = "cluster"
+	EndpointNode     = "node"
+	EndpointDecide   = "decide"
+	EndpointScenario = "scenario"
 )
+
+// MaxScenarioPoints bounds how many points one scenario request may
+// expand to: a request is one admission ticket, so a spec that fans out
+// wider belongs on llsweep or lltourney, not the service.
+const MaxScenarioPoints = 64
 
 // ErrBadRequest marks a request the decoder rejected: malformed JSON,
 // unknown fields, out-of-range parameters, or an oversized body. The
@@ -248,6 +255,54 @@ type DecideResponse struct {
 	Migrate          bool     `json:"migrate"`
 }
 
+// ScenarioRequest asks for one declarative scenario run (internal/
+// scenario): the spec is decoded with the scenario package's strict
+// rules, then replaced by its canonical encoding during normalization —
+// so CacheKey routes every spelling of the same scenario to one cache
+// entry, keyed by the spec's canonical digest.
+type ScenarioRequest struct {
+	// Spec is the scenario document; after normalize it holds the
+	// canonical bytes (defaults materialized, fields ordered).
+	Spec json.RawMessage `json:"spec"`
+	// Quick selects the shrunk smoke-run scale.
+	Quick bool `json:"quick,omitempty"`
+}
+
+func (q *ScenarioRequest) normalize() error {
+	if len(q.Spec) == 0 {
+		return badf("missing spec")
+	}
+	spec, err := scenario.Decode(q.Spec)
+	if err != nil {
+		return badf("%v", err)
+	}
+	_, pts, err := scenario.Expand(spec, q.Quick)
+	if err != nil {
+		return badf("%v", err)
+	}
+	if len(pts) > MaxScenarioPoints {
+		return badf("scenario expands to %d points, limit %d (use llsweep for large sweeps)",
+			len(pts), MaxScenarioPoints)
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		return badf("%v", err)
+	}
+	q.Spec = canon
+	return nil
+}
+
+// ScenarioResponse reports every expanded point of one scenario run, in
+// expansion order: ClusterPoint or NodePoint documents per the spec's
+// kind.
+type ScenarioResponse struct {
+	Name   string            `json:"name"`
+	Digest string            `json:"digest"`
+	Seed   int64             `json:"seed"`
+	Quick  bool              `json:"quick"`
+	Points []json.RawMessage `json:"points"`
+}
+
 // decodeStrict parses data into v with the service's strict rules: the
 // body must fit maxBytes, be a single JSON object with no unknown fields,
 // and have no trailing content. Every failure wraps ErrBadRequest.
@@ -268,8 +323,9 @@ func decodeStrict(data []byte, maxBytes int64, v any) error {
 
 // DecodeRequest parses and normalizes the body of one simulation
 // endpoint. It returns the normalized request (a *ClusterRequest,
-// *NodeRequest or *DecideRequest) ready for CacheKey/compute, or an
-// error wrapping ErrBadRequest. It never panics, whatever the bytes.
+// *NodeRequest, *DecideRequest or *ScenarioRequest) ready for
+// CacheKey/compute, or an error wrapping ErrBadRequest. It never
+// panics, whatever the bytes.
 func DecodeRequest(endpoint string, body []byte, maxBytes int64) (any, error) {
 	switch endpoint {
 	case EndpointCluster:
@@ -292,6 +348,15 @@ func DecodeRequest(endpoint string, body []byte, maxBytes int64) (any, error) {
 		return &q, nil
 	case EndpointDecide:
 		var q DecideRequest
+		if err := decodeStrict(body, maxBytes, &q); err != nil {
+			return nil, err
+		}
+		if err := q.normalize(); err != nil {
+			return nil, err
+		}
+		return &q, nil
+	case EndpointScenario:
+		var q ScenarioRequest
 		if err := decodeStrict(body, maxBytes, &q); err != nil {
 			return nil, err
 		}

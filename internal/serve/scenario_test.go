@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func scenarioBody(spec string, quick bool) map[string]any {
+	return map[string]any{"spec": json.RawMessage(spec), "quick": quick}
+}
+
+func TestScenarioEndpointRespond(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+
+	resp, body := post(t, ts.URL+"/v1/simulate/scenario",
+		scenarioBody(`{"scenarioVersion": 1, "name": "n", "kind": "node",
+			"node": {"cs": [0.0001], "utils": [0.3], "dur": 100}}`, false))
+	if resp.StatusCode != 200 {
+		t.Fatalf("scenario: %d %s", resp.StatusCode, body)
+	}
+	var sr ScenarioResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("scenario response: %v", err)
+	}
+	if sr.Name != "n" || len(sr.Digest) != 64 || sr.Seed != 1 {
+		t.Errorf("scenario header implausible: name=%q digest=%q seed=%d", sr.Name, sr.Digest, sr.Seed)
+	}
+	if len(sr.Points) != 1 {
+		t.Fatalf("scenario returned %d points, want 1", len(sr.Points))
+	}
+}
+
+func TestScenarioCanonicalSpellingsShareCacheKey(t *testing.T) {
+	// Two spellings of the same scenario must decode to one cache key —
+	// that is the digest-routing contract.
+	a, err := DecodeRequest(EndpointScenario,
+		[]byte(`{"spec": {"scenarioVersion": 1, "name": "x", "kind": "cluster"}}`), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeRequest(EndpointScenario,
+		[]byte(`{"spec": {"scenarioVersion": 1, "name": "x", "kind": "cluster",
+			"policy": "LL", "workload": "w1", "seed": 1}}`), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb := CacheKey(EndpointScenario, a), CacheKey(EndpointScenario, b)
+	if ka != kb {
+		t.Errorf("equivalent specs map to different cache keys:\n%s\n%s", ka, kb)
+	}
+	// A different quick flag must not share the entry.
+	c, err := DecodeRequest(EndpointScenario,
+		[]byte(`{"spec": {"scenarioVersion": 1, "name": "x", "kind": "cluster"}, "quick": true}`), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheKey(EndpointScenario, c) == ka {
+		t.Error("quick and full runs share a cache key")
+	}
+}
+
+func TestScenarioEndpointDeterministic(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	body := scenarioBody(`{"scenarioVersion": 1, "name": "d", "kind": "cluster",
+		"sweep": {"policies": ["LL", "FS"]}}`, true)
+	_, first := post(t, ts.URL+"/v1/simulate/scenario", body)
+	_, second := post(t, ts.URL+"/v1/simulate/scenario", body)
+	if !bytes.Equal(first, second) {
+		t.Errorf("repeated scenario requests differ:\n%s\n%s", first, second)
+	}
+}
+
+func TestScenarioEndpointRejects(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"missing spec", map[string]any{"quick": true}},
+		{"invalid spec", scenarioBody(`{"scenarioVersion": 1, "name": "x", "kind": "galaxy"}`, false)},
+		{"version skew", scenarioBody(`{"scenarioVersion": 2, "name": "x", "kind": "node"}`, false)},
+		// Full 5x5x? sweep with seeds maxes the expansion over the cap.
+		{"too many points", scenarioBody(`{"scenarioVersion": 1, "name": "big", "kind": "cluster",
+			"sweep": {"policies": ["LL", "LF", "IE", "PM", "FS"],
+				"workloads": ["w1", "w2", "w3", "pareto", "lognormal"], "seeds": 3}}`, true)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+"/v1/simulate/scenario", tc.body)
+			if resp.StatusCode != 400 {
+				t.Errorf("status = %d, want 400 (%s)", resp.StatusCode, body)
+			}
+		})
+	}
+}

@@ -74,6 +74,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/v1/simulate/cluster", s.simulationHandler(EndpointCluster))
 	s.mux.HandleFunc("/v1/simulate/node", s.simulationHandler(EndpointNode))
+	s.mux.HandleFunc("/v1/simulate/scenario", s.simulationHandler(EndpointScenario))
 	s.mux.HandleFunc("/v1/decide/linger", s.simulationHandler(EndpointDecide))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)

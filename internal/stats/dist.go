@@ -132,6 +132,109 @@ func (d Deterministic) Mean() float64 { return d.Value }
 // Var returns 0.
 func (d Deterministic) Var() float64 { return 0 }
 
+// Pareto is a Pareto (power-law) distribution with minimum value Scale
+// and tail index Alpha: P(X > x) = (Scale/x)^Alpha for x >= Scale. It is
+// the canonical heavy-tailed job-size family — for Alpha <= 2 the
+// variance is infinite, and for Alpha <= 1 so is the mean — modeling the
+// regime where the paper's hyperexponential fit is the lucky case.
+type Pareto struct {
+	Scale float64 // minimum value (x_m), must be positive
+	Alpha float64 // tail index, must be positive
+}
+
+// Sample draws a Pareto variate by inverting the CDF.
+func (p Pareto) Sample(rng *RNG) float64 {
+	// 1-Float64() is in (0, 1], so the power stays finite.
+	return p.Scale / math.Pow(1-rng.Float64(), 1/p.Alpha)
+}
+
+// Mean returns alpha*scale/(alpha-1), or +Inf when Alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Scale / (p.Alpha - 1)
+}
+
+// Var returns the variance, or +Inf when Alpha <= 2.
+func (p Pareto) Var() float64 {
+	if p.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := p.Alpha
+	return p.Scale * p.Scale * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// CDF returns P(X <= x).
+func (p Pareto) CDF(x float64) float64 {
+	if x <= p.Scale {
+		return 0
+	}
+	return 1 - math.Pow(p.Scale/x, p.Alpha)
+}
+
+// Lognormal is a log-normal distribution: exp(N(Mu, Sigma^2)). With
+// large Sigma it is heavy-tailed in the subexponential sense while
+// keeping all moments finite, sitting between the hyperexponential fit
+// and the Pareto extreme.
+type Lognormal struct {
+	Mu    float64 // mean of the underlying normal
+	Sigma float64 // standard deviation of the underlying normal, >= 0
+}
+
+// NewLognormalMean returns a log-normal with the requested mean and the
+// given Sigma (Mu is solved from mean = exp(Mu + Sigma^2/2)). It panics
+// if mean <= 0.
+func NewLognormalMean(mean, sigma float64) Lognormal {
+	if mean <= 0 {
+		panic(fmt.Sprintf("stats: lognormal mean must be positive, got %g", mean))
+	}
+	return Lognormal{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}
+}
+
+// Sample draws a log-normal variate.
+func (l Lognormal) Sample(rng *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Var returns (exp(sigma^2) - 1) * exp(2*mu + sigma^2).
+func (l Lognormal) Var() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// Clamped restricts another distribution to [Lo, Hi] by clamping each
+// variate (not by rejection, so the draw count per Sample is unchanged —
+// exactly one underlying draw). Mean and Var delegate to the underlying
+// distribution and are therefore upper-tail approximations; the clamp
+// exists to keep heavy-tailed job sizes inside the simulation horizon,
+// not to be a calibrated truncated distribution.
+type Clamped struct {
+	Dist   Distribution
+	Lo, Hi float64
+}
+
+// Sample draws from the underlying distribution and clamps to [Lo, Hi].
+func (c Clamped) Sample(rng *RNG) float64 {
+	x := c.Dist.Sample(rng)
+	if x < c.Lo {
+		return c.Lo
+	}
+	if x > c.Hi {
+		return c.Hi
+	}
+	return x
+}
+
+// Mean returns the underlying distribution's mean (see the type comment).
+func (c Clamped) Mean() float64 { return c.Dist.Mean() }
+
+// Var returns the underlying distribution's variance (see the type comment).
+func (c Clamped) Var() float64 { return c.Dist.Var() }
+
 // Uniform is a uniform distribution on [Lo, Hi).
 type Uniform struct {
 	Lo, Hi float64

@@ -185,3 +185,122 @@ func TestRNGBoolProbability(t *testing.T) {
 		t.Errorf("Bool(0.3) frequency = %g", frac)
 	}
 }
+
+func TestParetoSamplesAboveScale(t *testing.T) {
+	p := Pareto{Scale: 200, Alpha: 1.5}
+	rng := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		x := p.Sample(rng)
+		if x < p.Scale || math.IsInf(x, 1) || math.IsNaN(x) {
+			t.Fatalf("sample %g outside [scale, +inf)", x)
+		}
+	}
+}
+
+func TestParetoMoments(t *testing.T) {
+	// alpha=1.5: mean = 1.5*200/0.5 = 600, variance infinite.
+	p := Pareto{Scale: 200, Alpha: 1.5}
+	if got := p.Mean(); math.Abs(got-600) > 1e-9 {
+		t.Errorf("Mean() = %g, want 600", got)
+	}
+	if !math.IsInf(p.Var(), 1) {
+		t.Errorf("Var() = %g, want +Inf for alpha <= 2", p.Var())
+	}
+	if !math.IsInf(Pareto{Scale: 1, Alpha: 1}.Mean(), 1) {
+		t.Error("Mean() finite for alpha <= 1")
+	}
+	// alpha=3: both moments finite; check the sample mean converges.
+	p3 := Pareto{Scale: 2, Alpha: 3}
+	want := p3.Mean()
+	m, _ := sampleMoments(t, p3, sampleN, 4)
+	if math.Abs(m-want)/want > 0.02 {
+		t.Errorf("sample mean %g, want %g", m, want)
+	}
+	// scale^2 * alpha / ((alpha-1)^2 (alpha-2)) = 4*3/(4*1) = 3.
+	if v := p3.Var(); math.Abs(v-3) > 1e-9 {
+		t.Errorf("Var() = %g, want 3", v)
+	}
+}
+
+func TestParetoCDF(t *testing.T) {
+	p := Pareto{Scale: 10, Alpha: 2}
+	if got := p.CDF(5); got != 0 {
+		t.Errorf("CDF below scale = %g, want 0", got)
+	}
+	// Median: 1 - (10/x)^2 = 0.5 at x = 10*sqrt(2).
+	if got := p.CDF(10 * math.Sqrt2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(median) = %g, want 0.5", got)
+	}
+	// Empirical CDF agreement at one point.
+	rng := NewRNG(5)
+	hits := 0
+	for i := 0; i < sampleN; i++ {
+		if p.Sample(rng) <= 20 {
+			hits++
+		}
+	}
+	if got, want := float64(hits)/sampleN, p.CDF(20); math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical CDF(20) = %g, want %g", got, want)
+	}
+}
+
+func TestLognormalMoments(t *testing.T) {
+	l := NewLognormalMean(600, 1.5)
+	if got := l.Mean(); math.Abs(got-600)/600 > 1e-12 {
+		t.Errorf("Mean() = %g, want 600", got)
+	}
+	if l.Var() <= 0 || math.IsInf(l.Var(), 1) {
+		t.Errorf("Var() = %g, want finite positive", l.Var())
+	}
+	// sigma=0 degenerates to a point mass at the mean.
+	d := NewLognormalMean(42, 0)
+	rng := NewRNG(6)
+	if x := d.Sample(rng); math.Abs(x-42) > 1e-9 {
+		t.Errorf("sigma=0 sample = %g, want 42", x)
+	}
+	// Sample-mean convergence at a modest sigma (1.5 converges too
+	// slowly for a cheap test).
+	l2 := NewLognormalMean(10, 0.5)
+	m, _ := sampleMoments(t, l2, sampleN, 7)
+	if math.Abs(m-10)/10 > 0.02 {
+		t.Errorf("sample mean %g, want 10", m)
+	}
+}
+
+func TestLognormalPanicsOnBadMean(t *testing.T) {
+	for _, mean := range []float64{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLognormalMean(%g, 1) did not panic", mean)
+				}
+			}()
+			NewLognormalMean(mean, 1)
+		}()
+	}
+}
+
+func TestClampedBounds(t *testing.T) {
+	c := Clamped{Dist: Pareto{Scale: 200, Alpha: 1.1}, Lo: 300, Hi: 1000}
+	rng := NewRNG(8)
+	sawLo, sawHi := false, false
+	for i := 0; i < 20000; i++ {
+		x := c.Sample(rng)
+		if x < c.Lo || x > c.Hi {
+			t.Fatalf("sample %g outside [%g, %g]", x, c.Lo, c.Hi)
+		}
+		if x == c.Lo {
+			sawLo = true
+		}
+		if x == c.Hi {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Errorf("clamp edges never hit (lo=%t, hi=%t)", sawLo, sawHi)
+	}
+	// Moments delegate to the underlying distribution.
+	if c.Mean() != c.Dist.Mean() || !math.IsInf(c.Var(), 1) {
+		t.Errorf("Mean/Var do not delegate: %g, %g", c.Mean(), c.Var())
+	}
+}
